@@ -1,0 +1,57 @@
+// Command edger8r is the edge-function code generator (the analogue of the
+// Intel SDK's edger8r tool): it parses an EDL file declaring ecalls and
+// ocalls and generates the trusted and untrusted Go proxy files.
+//
+// Usage:
+//
+//	edger8r -edl app.edl -pkg myapp -out .
+//
+// writes app_t.go (trusted proxies: ocall wrappers), app_u.go (untrusted
+// proxies: ecall wrappers), and app_hot.go (HotCalls proxies for both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hotcalls/internal/edl"
+)
+
+func main() {
+	edlPath := flag.String("edl", "", "path to the EDL file (required)")
+	pkg := flag.String("pkg", "main", "package name for the generated files")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if *edlPath == "" {
+		fmt.Fprintln(os.Stderr, "edger8r: -edl is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*edlPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edger8r: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := edl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edger8r: %v\n", err)
+		os.Exit(1)
+	}
+	base := strings.TrimSuffix(filepath.Base(*edlPath), ".edl")
+	for suffix, content := range map[string]string{
+		"_t.go":   edl.GenerateTrusted(f, *pkg),
+		"_u.go":   edl.GenerateUntrusted(f, *pkg),
+		"_hot.go": edl.GenerateHotCalls(f, *pkg),
+	} {
+		path := filepath.Join(*out, base+suffix)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "edger8r: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,81 @@
+// Command hotbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hotbench -list
+//	hotbench -run table1
+//	hotbench -run all -csv out/
+//
+// Each experiment prints a table comparing measured values against the
+// paper's; -csv additionally writes the raw series (CDFs, sweeps) for
+// plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hotcalls/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment ID(s) to run, comma-separated, or 'all'")
+	csvDir := flag.String("csv", "", "directory to write raw CSV series into")
+	mdPath := flag.String("experiments-md", "", "run everything and write the EXPERIMENTS.md report to this path")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(bench.Markdown()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *mdPath)
+		return
+	}
+
+	var experiments []bench.Experiment
+	if *run == "all" {
+		experiments = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e := bench.Get(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "hotbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			experiments = append(experiments, *e)
+		}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		report := e.Run()
+		fmt.Printf("=== %s ===\n%s\n%s(%.1fs)\n\n", report.ID, report.Title, report.Table, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+				os.Exit(1)
+			}
+			for name, content := range report.CSV {
+				path := filepath.Join(*csvDir, name)
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+}

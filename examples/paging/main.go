@@ -1,0 +1,72 @@
+// Paging: the libquantum cliff of Section 3.4.  The EPC holds 93 MB; a
+// working set that fits runs with only the MEE's encryption overhead,
+// while one that exceeds it thrashes through EWB/ELDU paging and falls off
+// a cliff — the paper measured libquantum (96 MB) at 5.2x.  This example
+// sweeps the working-set size across the boundary and prints the curve,
+// then demonstrates that paging is also *functionally* protected: swapped
+// pages are sealed, and tampering or replaying them is detected.
+package main
+
+import (
+	"fmt"
+
+	"hotcalls/internal/epc"
+	"hotcalls/internal/mem"
+	"hotcalls/internal/sim"
+)
+
+func sweepCost(footprintMB int) (slowdown float64, faults uint64) {
+	run := func(base uint64) (uint64, uint64) {
+		rng := sim.NewRNG(7)
+		s := mem.New(rng)
+		footprint := uint64(footprintMB) << 20
+		// Pre-touch (compulsory faults excluded), then two timed sweeps.
+		var warm sim.Clock
+		for p := uint64(0); p < footprint; p += 4096 {
+			s.Load(&warm, base+p)
+		}
+		before := s.PageFaults()
+		var clk sim.Clock
+		for sweep := 0; sweep < 2; sweep++ {
+			for off := uint64(0); off < footprint; off += 256 << 10 {
+				s.StreamRead(&clk, base+off, 256<<10)
+			}
+		}
+		return clk.Now(), s.PageFaults() - before
+	}
+	plain, _ := run(mem.PlainBase + (1 << 32))
+	enc, f := run(mem.EnclaveBase)
+	return float64(enc) / float64(plain), f
+}
+
+func main() {
+	fmt.Println("sequential sweep, enclave vs plaintext (EPC = 93 MB):")
+	fmt.Printf("%-16s %10s %12s\n", "working set", "slowdown", "page faults")
+	for _, mb := range []int{32, 64, 88, 96, 128} {
+		slow, faults := sweepCost(mb)
+		marker := ""
+		if mb >= 94 {
+			marker = "  <- beyond the EPC"
+		}
+		fmt.Printf("%13d MB %9.2fx %12d%s\n", mb, slow, faults, marker)
+	}
+	fmt.Println("\npaper: libquantum's 96 MB working set ran 5.2x slower")
+
+	// The functional side of paging: EWB seals, ELDU verifies.
+	var key [16]byte
+	copy(key[:], "paging-seal-key!")
+	m := epc.NewManager(2*epc.PageSize, key)
+	page := make([]byte, epc.PageSize)
+	copy(page, "quantum register state |psi>")
+	if _, err := m.WritePage(1, page); err != nil {
+		panic(err)
+	}
+	m.Touch(2)
+	m.Touch(3) // page 1 is evicted (EWB): sealed into untrusted memory
+	if !m.TamperSwapped(1) {
+		panic("nothing to tamper")
+	}
+	if _, _, err := m.ReadPage(1); err != nil {
+		fmt.Printf("\ntampered swapped page rejected on ELDU: %v\n", err)
+	}
+}

@@ -1,0 +1,101 @@
+// Securetunnel: the paper's openVPN scenario (Section 6.3), plus the
+// attestation flow that motivates it.  A remote client verifies the
+// enclave's identity through a quote signed by the platform's provisioned
+// attestation key, the tunnel then carries real AES-CTR + HMAC-SHA256
+// protected packets, tampering is rejected, and the four interface
+// configurations are compared as in Figures 10 and 11.
+package main
+
+import (
+	"fmt"
+
+	"hotcalls/internal/apps/openvpn"
+	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/sgx"
+	"hotcalls/internal/sgx/attest"
+	"hotcalls/internal/sim"
+)
+
+func main() {
+	// --- Remote attestation: why it is safe to give this enclave the
+	// tunnel keys.
+	platform := sgx.NewPlatform(9001)
+	var clk sim.Clock
+	enclave := platform.ECreate(&clk, 16<<20, 1, sgx.Attributes{ProdID: 7})
+	vpnCode := make([]byte, sgx.PageSize)
+	copy(vpnCode, "openvpn-enclave v2.3.12")
+	if err := enclave.EAdd(&clk, 0, vpnCode); err != nil {
+		panic(err)
+	}
+	if err := enclave.EInit(&clk); err != nil {
+		panic(err)
+	}
+
+	service := attest.NewService()
+	qe, err := service.Provision(platform, "vpn-host-01")
+	if err != nil {
+		panic(err)
+	}
+	var binding attest.ReportData
+	copy(binding[:], "client-key-exchange-hash")
+	report := attest.EReport(platform, enclave, sgx.Measurement{}, binding)
+	quote, err := qe.Quote(report)
+	if err != nil {
+		panic(err)
+	}
+	if err := service.Verify(quote); err != nil {
+		panic(err)
+	}
+	fmt.Printf("remote attestation OK: enclave %v on platform %q is genuine\n",
+		quote.Report.Measurement, quote.PlatformID)
+
+	// A forged quote (wrong identity) must fail.
+	forged := *quote
+	forged.Report.Measurement[0] ^= 1
+	if err := service.Verify(&forged); err != nil {
+		fmt.Printf("forged quote rejected: %v\n\n", err)
+	}
+
+	// --- Session establishment: the quote binds a fresh nonce, both
+	// sides derive the tunnel keys, and the keys never exist outside the
+	// enclave and the client.
+	var master [32]byte
+	copy(master[:], "provisioned-master-secret-32-byt")
+	var nonce [16]byte
+	copy(nonce[:], "fresh-session-01")
+	sessionQuote, serverKeys, err := openvpn.EnclaveHandshake(platform, enclave, qe, master, nonce)
+	if err != nil {
+		panic(err)
+	}
+	clientKeys, err := openvpn.Handshake(service, sessionQuote, enclave.MRENCLAVE(), master, nonce)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("attested handshake complete: session keys derived on both sides")
+
+	// --- The tunnel data path is real crypto, under the derived keys.
+	tx, rx := clientKeys.ClientToServer, serverKeys.ClientToServer
+	payload := []byte("confidential corporate traffic!!")
+	frame := make([]byte, openvpn.FrameOverhead+len(payload))
+	n := tx.Seal(frame, payload)
+	out := make([]byte, openvpn.MTU)
+	pn, err := rx.Open(out, frame[:n])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tunnel round trip: %q\n", out[:pn])
+	frame[openvpn.FrameOverhead] ^= 1
+	if _, err := rx.Open(out, frame[:n]); err != nil {
+		fmt.Printf("tampered frame rejected: %v\n\n", err)
+	}
+
+	// --- The paper's comparison: iperf bandwidth and flood-ping RTT.
+	fmt.Println("openVPN under the four interface configurations:")
+	fmt.Printf("%-14s %10s %12s\n", "mode", "Mbit/s", "ping RTT")
+	for _, mode := range porting.Modes {
+		bw := openvpn.RunIperf(mode, 0.04)
+		ping := openvpn.RunPing(mode, 0.02)
+		fmt.Printf("%-14s %10.0f %10.2fms\n", mode, bw.BandwidthMbs, ping.AvgLatency*1e3)
+	}
+	fmt.Println("\npaper: 866 / 309 / 694 / 823 Mbit/s and 1.43 / 4.58 / 1.87 / 1.75 ms")
+}

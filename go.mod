@@ -1,0 +1,3 @@
+module hotcalls
+
+go 1.22

@@ -1,0 +1,85 @@
+package openvpn
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+
+	"hotcalls/internal/sgx"
+	"hotcalls/internal/sgx/attest"
+)
+
+// This file implements the control channel the data plane depends on: the
+// remote client verifies the VPN enclave through remote attestation and
+// only then derives the per-session tunnel keys, so the keys exist nowhere
+// outside the enclave and the client's own memory — the deployment story
+// that motivates porting openVPN into SGX in the first place
+// (Section 6.3: "Compromising the secret keys used by openVPN compromises
+// the security of the tunnel").
+
+// ErrAttestationFailed rejects a handshake with an unverifiable enclave.
+var ErrAttestationFailed = errors.New("openvpn: peer enclave failed attestation")
+
+// SessionKeys hold one direction pair of freshly derived tunnel keys.
+type SessionKeys struct {
+	ClientToServer *Cipher
+	ServerToClient *Cipher
+}
+
+// deriveKeys expands a master secret and session nonce into the four
+// tunnel keys with an HKDF-style HMAC expansion.
+func deriveKeys(master [32]byte, nonce [16]byte) *SessionKeys {
+	expand := func(label string) []byte {
+		h := hmac.New(sha256.New, master[:])
+		h.Write([]byte(label))
+		h.Write(nonce[:])
+		return h.Sum(nil)
+	}
+	var c2sKey, s2cKey [16]byte
+	var c2sMac, s2cMac [32]byte
+	copy(c2sKey[:], expand("c2s-cipher"))
+	copy(s2cKey[:], expand("s2c-cipher"))
+	copy(c2sMac[:], expand("c2s-mac"))
+	copy(s2cMac[:], expand("s2c-mac"))
+	return &SessionKeys{
+		ClientToServer: NewCipher(c2sKey, c2sMac),
+		ServerToClient: NewCipher(s2cKey, s2cMac),
+	}
+}
+
+// Handshake is the client side of session establishment: verify the
+// enclave's quote against the attestation service, check that the quoted
+// identity matches the expected VPN build, and derive session keys bound
+// to the quote's nonce.  Both sides must call deriveKeys with the same
+// master and nonce; the master would be provisioned into the enclave over
+// the attestation-established secure channel.
+func Handshake(svc *attest.Service, quote *attest.Quote, expected sgx.Measurement, master [32]byte, sessionNonce [16]byte) (*SessionKeys, error) {
+	if err := svc.Verify(quote); err != nil {
+		return nil, errors.Join(ErrAttestationFailed, err)
+	}
+	if quote.Report.Measurement != expected {
+		return nil, ErrAttestationFailed
+	}
+	// The report must bind the session nonce (anti-replay of the whole
+	// handshake).
+	var want [8]byte
+	copy(want[:], quote.Report.Data[:8])
+	if binary.LittleEndian.Uint64(want[:]) != binary.LittleEndian.Uint64(sessionNonce[:8]) {
+		return nil, ErrAttestationFailed
+	}
+	return deriveKeys(master, sessionNonce), nil
+}
+
+// EnclaveHandshake is the server (enclave) side: produce the quote binding
+// the session nonce and derive the same keys.
+func EnclaveHandshake(p *sgx.Platform, e *sgx.Enclave, qe *attest.QuotingEnclave, master [32]byte, sessionNonce [16]byte) (*attest.Quote, *SessionKeys, error) {
+	var data attest.ReportData
+	copy(data[:], sessionNonce[:])
+	report := attest.EReport(p, e, sgx.Measurement{}, data)
+	quote, err := qe.Quote(report)
+	if err != nil {
+		return nil, nil, err
+	}
+	return quote, deriveKeys(master, sessionNonce), nil
+}

@@ -1,0 +1,44 @@
+package porting
+
+import "hotcalls/internal/sim"
+
+// Asynchronous-exit injection: OS interrupts land on the enclave core at
+// some rate regardless of the interface in use.  Each hit costs the
+// hardware context dump to the SSA, the OS service, and ERESUME
+// (sim.AEXCostCycles), and — like any enclave transition — invalidates the
+// enclave's TLB entries.  The paper filters AEX-contaminated runs out of
+// its microbenchmarks (Section 3.1); applications cannot, so the harness
+// can inject them here to test degradation.
+
+// SetAEXRate enables asynchronous-exit injection at the given interrupts
+// per second (0 disables, the default).  Rates around 500/s match an idle
+// server; storms of 100k/s model a hostile or interrupt-heavy host.
+func (a *App) SetAEXRate(perSecond float64) {
+	a.aexRate = perSecond
+}
+
+// injectAEX charges any asynchronous exits that statistically landed in
+// the last `cycles` of enclave execution and reports how many hit.
+func (a *App) injectAEX(clk *sim.Clock, cycles uint64) int {
+	if a.aexRate <= 0 || !a.Secure() {
+		return 0
+	}
+	expected := float64(cycles) * a.aexRate / sim.FrequencyHz
+	hits := int(expected)
+	if a.Platform.RNG.Bool(expected - float64(hits)) {
+		hits++
+	}
+	for i := 0; i < hits; i++ {
+		clk.Advance(sim.AEXCostCycles)
+	}
+	return hits
+}
+
+// ServeWithAEX wraps one request: run it, then charge the asynchronous
+// exits that landed during its execution.  The TLB flush an AEX implies is
+// charged with it (one page-walk set on the next touch).
+func (a *App) ServeWithAEX(clk *sim.Clock, serve func(clk *sim.Clock)) int {
+	start := clk.Now()
+	serve(clk)
+	return a.injectAEX(clk, clk.Now()-start)
+}

@@ -1,0 +1,69 @@
+package porting
+
+import (
+	"sort"
+
+	"hotcalls/internal/sim"
+)
+
+// Metrics summarizes one closed-loop run.
+type Metrics struct {
+	Requests     uint64
+	SimSeconds   float64
+	Throughput   float64 // requests (or packets) per second
+	AvgLatency   float64 // seconds
+	P50Latency   float64
+	P99Latency   float64
+	BytesTX      uint64  // payload transmitted, for bandwidth workloads
+	BandwidthMbs float64 // megabits per second of payload
+}
+
+// RunClosedLoop drives a single-threaded server with a fixed number of
+// outstanding requests (the memtier/http_load/flood-ping pattern: every
+// completed request is immediately replaced).  serve processes exactly one
+// request on the given clock.  The run ends when the server clock passes
+// simCycles.
+//
+// With one server and N outstanding requests, a request's latency is the
+// time from when its slot was freed to its completion — Little's law makes
+// latency ≈ N / throughput, which is exactly the relationship the paper's
+// Figures 10 and 11 exhibit.
+func RunClosedLoop(outstanding int, simCycles uint64, serve func(clk *sim.Clock)) Metrics {
+	if outstanding <= 0 {
+		panic("porting: need at least one outstanding request")
+	}
+	var clk sim.Clock
+	// Ring of the completion times of the last `outstanding` requests:
+	// slot i frees when the request `outstanding` ago completed.
+	ring := make([]uint64, outstanding)
+	var latencies []float64
+	var n uint64
+	for clk.Now() < simCycles {
+		submitted := ring[n%uint64(outstanding)]
+		serve(&clk)
+		done := clk.Now()
+		latencies = append(latencies, sim.Seconds(done-submitted))
+		ring[n%uint64(outstanding)] = done
+		n++
+	}
+	m := Metrics{Requests: n, SimSeconds: sim.Seconds(clk.Now())}
+	if m.SimSeconds > 0 {
+		m.Throughput = float64(n) / m.SimSeconds
+	}
+	if len(latencies) > 0 {
+		// Discard warmup: the first `outstanding` requests started
+		// from an idle system.
+		if len(latencies) > outstanding*2 {
+			latencies = latencies[outstanding:]
+		}
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		m.AvgLatency = sum / float64(len(latencies))
+		m.P50Latency = latencies[len(latencies)/2]
+		m.P99Latency = latencies[len(latencies)*99/100]
+	}
+	return m
+}

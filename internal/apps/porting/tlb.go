@@ -1,0 +1,35 @@
+package porting
+
+// EENTER, EEXIT, ERESUME, and AEX invalidate the TLB entries of the
+// enclave's linear address range (Intel SDM, enclave transitions).  In the
+// unoptimized SGX port every edge call therefore leaves the enclave's
+// translations cold, and the application's next memory accesses pay
+// page-table walks.  HotCalls never execute those instructions — the
+// enclave worker thread stays resident — so they keep the TLB warm.  This
+// is a major, often overlooked, component of why applications inflate
+// ~2-3x inside enclaves beyond the raw call cost, and it is what the
+// Section 6 application figures require beyond warm call latencies.
+const (
+	// tlbWalkMin/Max bound one page-table walk: four dependent loads
+	// through the page-table radix, partially cached.
+	tlbWalkMin = 350
+	tlbWalkMax = 650
+)
+
+// TouchPages declares that the application logic is about to touch n
+// distinct enclave pages.  If the enclave TLB was flushed by a preceding
+// SDK edge call, the walk cost is charged and the TLB considered warm
+// again until the next transition.
+func (e *Env) TouchPages(n int) {
+	if e.App.Mode != SGX || !e.tlbFlushed || n <= 0 {
+		return
+	}
+	if e.App.Prof != nil {
+		defer e.App.Prof.Enter(e.Clk, CatTLB)()
+	}
+	rng := e.App.Platform.RNG
+	for i := 0; i < n; i++ {
+		e.Clk.AdvanceF(rng.Uniform(tlbWalkMin, tlbWalkMax))
+	}
+	e.tlbFlushed = false
+}

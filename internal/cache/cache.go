@@ -1,0 +1,197 @@
+// Package cache models a set-associative write-back cache with true-LRU
+// replacement.  The benchmark harness instantiates it twice: once as the
+// 8 MB last-level cache of the paper's Core i7-6700K testbed, and once (with
+// a much smaller geometry) as the Memory Encryption Engine's internal cache
+// of integrity-tree nodes.
+//
+// The model tracks which line addresses are resident and dirty; it does not
+// store data.  Cycle costs are charged by the layers above (internal/mem),
+// which combine hit/miss outcomes with the calibrated latency model.
+package cache
+
+import "math/bits"
+
+// Config describes a cache geometry.  All fields must be powers of two.
+type Config struct {
+	SizeBytes int // total capacity
+	LineSize  int // bytes per line
+	Ways      int // associativity
+}
+
+// LLCConfig is the geometry of the testbed's last-level cache: 8 MB,
+// 64-byte lines, 16-way (Core i7-6700K).
+var LLCConfig = Config{SizeBytes: 8 << 20, LineSize: 64, Ways: 16}
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	Addr  uint64 // line-aligned byte address of the displaced line
+	Dirty bool   // displaced line held modified data (write-back needed)
+	Valid bool   // false when the insertion filled an empty way
+}
+
+type entry struct {
+	line  uint64 // line number (addr >> lineShift)
+	dirty bool
+	valid bool
+}
+
+// Cache is a set-associative write-back cache.  It is not safe for
+// concurrent use.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	sets      [][]entry // sets[i] is LRU-ordered, front = most recent
+	accesses  uint64
+	misses    uint64
+}
+
+// New returns a cache with the given geometry.  It panics if the geometry
+// is not a power-of-two design or the associativity exceeds the line count.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineSize <= 0 || cfg.Ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := cfg.SizeBytes / cfg.LineSize
+	numSets := lines / cfg.Ways
+	if numSets == 0 {
+		panic("cache: associativity exceeds line count")
+	}
+	if numSets*cfg.Ways*cfg.LineSize != cfg.SizeBytes {
+		panic("cache: size not divisible into sets x ways x lines")
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 || numSets&(numSets-1) != 0 {
+		panic("cache: line size and set count must be powers of two")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		setMask: uint64(numSets - 1),
+		sets:    make([][]entry, numSets),
+	}
+	c.lineShift = uint(bits.TrailingZeros(uint(cfg.LineSize)))
+	for i := range c.sets {
+		c.sets[i] = make([]entry, 0, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return (addr >> c.lineShift) << c.lineShift
+}
+
+func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// Probe reports whether addr's line is resident, without touching
+// replacement state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := c.lineOf(addr)
+	for _, e := range c.sets[c.setOf(line)] {
+		if e.valid && e.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a load (write=false) or store (write=true) to addr.
+// It returns whether the access hit, and the victim displaced if the
+// resulting fill evicted a valid line.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim Victim) {
+	c.accesses++
+	line := c.lineOf(addr)
+	set := c.setOf(line)
+	ways := c.sets[set]
+	for i, e := range ways {
+		if e.valid && e.line == line {
+			// Hit: move to MRU position.
+			if write {
+				e.dirty = true
+			}
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = e
+			return true, Victim{}
+		}
+	}
+	c.misses++
+	// Miss: fill, evicting LRU if the set is full.
+	e := entry{line: line, dirty: write, valid: true}
+	if len(ways) < c.cfg.Ways {
+		ways = append(ways, entry{})
+		copy(ways[1:], ways[:len(ways)-1])
+		ways[0] = e
+		c.sets[set] = ways
+		return false, Victim{}
+	}
+	lru := ways[len(ways)-1]
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = e
+	return false, Victim{
+		Addr:  lru.line << c.lineShift,
+		Dirty: lru.dirty,
+		Valid: true,
+	}
+}
+
+// Flush removes addr's line (the clflush instruction).  It reports whether
+// the line was present and whether it was dirty (requiring write-back).
+func (c *Cache) Flush(addr uint64) (present, dirty bool) {
+	line := c.lineOf(addr)
+	set := c.setOf(line)
+	ways := c.sets[set]
+	for i, e := range ways {
+		if e.valid && e.line == line {
+			c.sets[set] = append(ways[:i], ways[i+1:]...)
+			return true, e.dirty
+		}
+	}
+	return false, false
+}
+
+// FlushRange flushes every line overlapping [addr, addr+size) and returns
+// the number of dirty lines written back.
+func (c *Cache) FlushRange(addr, size uint64) (dirtyLines int) {
+	if size == 0 {
+		return 0
+	}
+	first := c.lineOf(addr)
+	last := c.lineOf(addr + size - 1)
+	for line := first; line <= last; line++ {
+		if _, d := c.Flush(line << c.lineShift); d {
+			dirtyLines++
+		}
+	}
+	return dirtyLines
+}
+
+// FlushAll empties the cache (the cold-cache experiments of Figure 2 flush
+// the entire 8 MB LLC before every run).  It returns the number of dirty
+// lines that needed write-back.
+func (c *Cache) FlushAll() (dirtyLines int) {
+	for i, ways := range c.sets {
+		for _, e := range ways {
+			if e.valid && e.dirty {
+				dirtyLines++
+			}
+		}
+		c.sets[i] = c.sets[i][:0]
+	}
+	return dirtyLines
+}
+
+// Occupancy returns the number of resident lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, ways := range c.sets {
+		n += len(ways)
+	}
+	return n
+}
+
+// Stats returns cumulative access and miss counts.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }

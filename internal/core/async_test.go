@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAsyncSubmitAndWait(t *testing.T) {
+	var hc HotCall
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) + 100 },
+	})
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	p, err := hc.Submit(0, uint64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := p.Wait()
+	if err != nil || ret != 105 {
+		t.Fatalf("Wait = (%d, %v)", ret, err)
+	}
+	// Repeated Poll after completion keeps returning the result.
+	if ret, err := p.Poll(); err != nil || ret != 105 {
+		t.Fatalf("post-completion Poll = (%d, %v)", ret, err)
+	}
+}
+
+func TestAsyncPollNotComplete(t *testing.T) {
+	var hc HotCall
+	release := make(chan struct{})
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { <-release; return 1 },
+	})
+	p, err := hc.Submit(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Poll(); !errors.Is(err, ErrNotComplete) {
+		// The responder may not have even started; either way the
+		// call cannot be complete yet.
+		t.Fatalf("Poll before completion: err = %v, want ErrNotComplete", err)
+	}
+	close(release)
+	if ret, err := p.Wait(); err != nil || ret != 1 {
+		t.Fatalf("Wait = (%d, %v)", ret, err)
+	}
+	hc.Stop()
+	wg.Wait()
+}
+
+func TestAsyncOverlapsComputation(t *testing.T) {
+	// The point of async submission: the requester does useful work
+	// while the responder executes.
+	var hc HotCall
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) * 2 },
+	})
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	var sum uint64
+	for i := uint64(0); i < 200; i++ {
+		p, err := hc.Submit(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "Enclave work" overlapping the call.
+		for j := 0; j < 50; j++ {
+			sum += i * uint64(j)
+		}
+		ret, err := p.Wait()
+		if err != nil || ret != i*2 {
+			t.Fatalf("call %d = (%d, %v)", i, ret, err)
+		}
+	}
+	if sum == 0 {
+		t.Fatal("overlap work elided")
+	}
+}
+
+func TestAsyncSubmitTimeout(t *testing.T) {
+	var hc HotCall
+	hc.Timeout = 3
+	hc.lock.Lock() // wedged
+	if _, err := hc.Submit(0, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	hc.lock.Unlock()
+}
+
+func TestAsyncStoppedSurfaces(t *testing.T) {
+	var hc HotCall
+	hc.Stop()
+	if _, err := hc.Submit(0, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after stop: %v", err)
+	}
+}
+
+func TestMultiResponderServesManySlots(t *testing.T) {
+	const slots = 4
+	hcs := make([]*HotCall, slots)
+	for i := range hcs {
+		hcs[i] = &HotCall{Timeout: 1 << 20}
+	}
+	m := NewMultiResponder(hcs, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) ^ 0xf0f0 },
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Run()
+	}()
+
+	var callers sync.WaitGroup
+	errs := make(chan error, slots)
+	for s := 0; s < slots; s++ {
+		callers.Add(1)
+		go func(s int) {
+			defer callers.Done()
+			for i := uint64(0); i < 200; i++ {
+				v := uint64(s)<<32 | i
+				ret, err := hcs[s].Call(0, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ret != v^0xf0f0 {
+					errs <- errors.New("wrong result on shared responder")
+					return
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	callers.Wait()
+	for s := 0; s < slots; s++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hcs {
+		h.Stop()
+	}
+	wg.Wait()
+}
+
+func TestMultiResponderExitsWhenAllStopped(t *testing.T) {
+	hcs := []*HotCall{{}, {}}
+	m := NewMultiResponder(hcs, nil)
+	done := make(chan struct{})
+	go func() {
+		m.Run()
+		close(done)
+	}()
+	hcs[0].Stop()
+	hcs[1].Stop()
+	<-done // must return; a hang fails the test by timeout
+}

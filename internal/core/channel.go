@@ -1,0 +1,85 @@
+package core
+
+import (
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/sim"
+)
+
+// Channel is the simulated-cycle HotCalls endpoint used by the experiment
+// harness and the application simulations.  It performs calls against an
+// sdk.Runtime's bound edge functions using the SDK's own marshalling code
+// (sdk.StageOCallArgs / sdk.StageECallArgs — the Section 5 security
+// argument), but replaces the EENTER/EEXIT context switches with the
+// HotCalls spin-lock protocol, whose cost comes from LatencyModel.
+//
+// A HotOCall's untrusted landing function runs on the responder's core
+// while the requester spins, so the requester-observed cost is the
+// synchronization latency plus the handler's own execution time.
+type Channel struct {
+	RT    *sdk.Runtime
+	Model *LatencyModel
+}
+
+// NewChannel returns a HotCalls channel over the given runtime.
+func NewChannel(rt *sdk.Runtime, rng *sim.RNG) *Channel {
+	return &Channel{RT: rt, Model: NewLatencyModel(rng)}
+}
+
+// HotOCall performs an out-call through the HotCalls interface: the
+// trusted side marshals with the SDK-generated code, signals the request
+// through shared plaintext memory, and the untrusted responder executes
+// the landing function.
+func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint64, error) {
+	decl, fn, err := ch.RT.UntrustedBinding(name)
+	if err != nil {
+		return 0, err
+	}
+	ch.RT.CountCall(name)
+
+	outer, finish, err := ch.RT.StageOCallArgs(clk, decl, args)
+	if err != nil {
+		return 0, err
+	}
+	// Synchronization: request submission, responder pickup, completion
+	// polling.  The handler runs on the responder core while the
+	// requester spins, so its execution time adds to the observed
+	// latency.
+	clk.AdvanceF(ch.Model.Sample())
+	var handlerClk sim.Clock
+	ret := fn(&sdk.Ctx{Clk: &handlerClk, RT: ch.RT}, outer)
+	clk.Advance(handlerClk.Now())
+
+	finish()
+	return ret, nil
+}
+
+// HotECall performs an enclave call through the HotCalls interface: the
+// responder thread inside the enclave polls for requests, so no EENTER is
+// needed.  Marshalling again reuses the SDK code path.
+func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint64, error) {
+	decl, fn, err := ch.RT.TrustedBinding(name)
+	if err != nil {
+		return 0, err
+	}
+	ch.RT.CountCall(name)
+
+	inner, finish, err := ch.RT.StageECallArgs(clk, decl, args)
+	if err != nil {
+		return 0, err
+	}
+	clk.AdvanceF(ch.Model.Sample())
+	var handlerClk sim.Clock
+	// The handler runs on the resident enclave worker; its own ocalls
+	// route back through this channel.
+	ret := fn(&sdk.Ctx{Clk: &handlerClk, RT: ch.RT, Router: ch}, inner)
+	clk.Advance(handlerClk.Now())
+
+	finish()
+	return ret, nil
+}
+
+// RouteOCall implements sdk.OCallRouter: out-calls from handlers running
+// under HotCalls go through the shared-memory channel.
+func (ch *Channel) RouteOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint64, error) {
+	return ch.HotOCall(clk, name, args...)
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hotcalls/internal/sim"
+)
+
+func startResponder(hc *HotCall, table []func(interface{}) uint64) (*Responder, *sync.WaitGroup) {
+	r := NewResponder(hc, table)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Run()
+	}()
+	return r, &wg
+}
+
+func TestHotCallBasic(t *testing.T) {
+	var hc HotCall
+	table := []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) + 1 },
+		func(d interface{}) uint64 { return d.(uint64) * 2 },
+	}
+	_, wg := startResponder(&hc, table)
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	if ret, err := hc.Call(0, uint64(41)); err != nil || ret != 42 {
+		t.Fatalf("Call(0, 41) = (%d, %v)", ret, err)
+	}
+	if ret, err := hc.Call(1, uint64(21)); err != nil || ret != 42 {
+		t.Fatalf("Call(1, 21) = (%d, %v)", ret, err)
+	}
+}
+
+func TestHotCallSequence(t *testing.T) {
+	var hc HotCall
+	table := []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) ^ 0xdead },
+	}
+	_, wg := startResponder(&hc, table)
+	defer func() { hc.Stop(); wg.Wait() }()
+	for i := uint64(0); i < 2000; i++ {
+		ret, err := hc.Call(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret != i^0xdead {
+			t.Fatalf("call %d returned %d", i, ret)
+		}
+	}
+}
+
+func TestHotCallConcurrentRequesters(t *testing.T) {
+	var hc HotCall
+	hc.Timeout = 1 << 20 // requesters contend; give them room
+	table := []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) * 3 },
+	}
+	_, wg := startResponder(&hc, table)
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	const requesters, callsEach = 4, 300
+	errs := make(chan error, requesters)
+	for g := 0; g < requesters; g++ {
+		go func(g int) {
+			for i := 0; i < callsEach; i++ {
+				v := uint64(g*callsEach + i)
+				ret, err := hc.Call(0, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ret != v*3 {
+					errs <- errors.New("wrong result under contention")
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < requesters; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHotCallBadID(t *testing.T) {
+	var hc HotCall
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { return 0 },
+	})
+	defer func() { hc.Stop(); wg.Wait() }()
+	ret, err := hc.Call(99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != ^uint64(0) {
+		t.Fatalf("bad ID returned %d, want sentinel", ret)
+	}
+}
+
+func TestHotCallStop(t *testing.T) {
+	var hc HotCall
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { return 1 },
+	})
+	hc.Stop()
+	wg.Wait()
+	if _, err := hc.Call(0, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestHotCallTimeoutFallback(t *testing.T) {
+	// No responder running and the slot held busy: Call must time out,
+	// and CallOrFallback must route to the fallback (the SDK path).
+	var hc HotCall
+	hc.Timeout = 5
+	hc.lock.Lock()
+	hc.state = stateRunning // responder "busy forever"
+	hc.lock.Unlock()
+
+	if _, err := hc.Call(0, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	ret, err := hc.CallOrFallback(0, nil, func() (uint64, error) { return 777, nil })
+	if err != nil || ret != 777 {
+		t.Fatalf("fallback = (%d, %v)", ret, err)
+	}
+}
+
+func TestResponderSleepAndWake(t *testing.T) {
+	var hc HotCall
+	r := NewResponder(&hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) + 5 },
+	})
+	r.IdleTimeout = 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Run()
+	}()
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	// First call works while awake.
+	if ret, err := hc.Call(0, uint64(1)); err != nil || ret != 6 {
+		t.Fatalf("call = (%d, %v)", ret, err)
+	}
+	// Let the responder go to sleep, then verify a call still completes
+	// (the requester must notice the sleep flag and signal).
+	for i := 0; i < 10000 && r.sleeps.Load() == 0; i++ {
+		pause()
+	}
+	if r.sleeps.Load() == 0 {
+		t.Skip("responder did not reach sleep on this scheduler")
+	}
+	if ret, err := hc.Call(0, uint64(10)); err != nil || ret != 15 {
+		t.Fatalf("post-sleep call = (%d, %v)", ret, err)
+	}
+}
+
+func TestResponderStats(t *testing.T) {
+	var hc HotCall
+	r, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { return 0 },
+	})
+	for i := 0; i < 50; i++ {
+		hc.Call(0, nil)
+	}
+	hc.Stop()
+	wg.Wait()
+	polls, executes, _ := r.Stats()
+	if executes != 50 {
+		t.Fatalf("executes = %d, want 50", executes)
+	}
+	if polls < executes {
+		t.Fatalf("polls = %d < executes", polls)
+	}
+	if u := r.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+// --- Latency model (Figure 3) ---
+
+func TestFigure3LatencyModel(t *testing.T) {
+	rng := sim.NewRNG(99)
+	m := NewLatencyModel(rng)
+	s := sim.NewSample(sim.TotalRuns)
+	for i := 0; i < sim.TotalRuns; i++ {
+		s.Add(m.Sample())
+	}
+	med := s.Median()
+	f620 := s.FractionBelow(620)
+	f1400 := s.FractionBelow(1400)
+	t.Logf("median=%.0f  P(<=620)=%.3f  P(<=1400)=%.5f", med, f620, f1400)
+	// Paper: most calls ~620 cycles; over 78% below 620; 99.97% within
+	// 1,400.
+	if med < 450 || med > 620 {
+		t.Errorf("median = %.0f, want ~540-620", med)
+	}
+	if f620 < 0.75 || f620 > 0.90 {
+		t.Errorf("P(<=620) = %.3f, want ~0.78", f620)
+	}
+	if f1400 < 0.995 {
+		t.Errorf("P(<=1400) = %.5f, want >= 0.995 (paper: 0.9997)", f1400)
+	}
+}
+
+func TestLatencyModelDeterminism(t *testing.T) {
+	a := NewLatencyModel(sim.NewRNG(5))
+	b := NewLatencyModel(sim.NewRNG(5))
+	for i := 0; i < 1000; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("model not deterministic under equal seeds")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hotcalls/internal/core"
+)
+
+// The minimal HotCalls setup: a shared slot, a responder goroutine with a
+// call table, and synchronous calls from the requester.
+func ExampleHotCall() {
+	var hc core.HotCall
+	responder := core.NewResponder(&hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) * 2 },
+	})
+	go responder.Run()
+	defer hc.Stop()
+
+	ret, err := hc.Call(0, uint64(21))
+	fmt.Println(ret, err)
+	// Output: 42 <nil>
+}
+
+// Asynchronous submission overlaps enclave work with the untrusted call.
+func ExampleHotCall_submit() {
+	var hc core.HotCall
+	responder := core.NewResponder(&hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) + 1 },
+	})
+	go responder.Run()
+	defer hc.Stop()
+
+	pending, err := hc.Submit(0, uint64(99))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// ... useful work here, while the responder executes ...
+	ret, err := pending.Wait()
+	fmt.Println(ret, err)
+	// Output: 100 <nil>
+}
+
+// The starvation mitigation of Section 4.2: when the responder stays busy
+// past the timeout, fall back to the regular SDK call path.
+func ExampleHotCall_CallOrFallback() {
+	var hc core.HotCall
+	hc.Timeout = 3
+	block := make(chan struct{})
+	responder := core.NewResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { <-block; return 1 },
+	})
+	go responder.Run()
+
+	// Occupy the responder with a slow asynchronous call...
+	pending, _ := hc.Submit(0, nil)
+	// ...so this one times out and takes the fallback (SDK) path.
+	ret, err := hc.CallOrFallback(0, nil, func() (uint64, error) {
+		return 7, nil // the SDK ocall would run here
+	})
+	fmt.Println(ret, err)
+
+	close(block)
+	pending.Wait()
+	hc.Stop()
+	// Output: 7 <nil>
+}

@@ -1,0 +1,189 @@
+package core
+
+// Section 5 of the paper argues HotCalls introduce no new vulnerability
+// because every untrusted-memory structure they use (the data pointer, the
+// call_ID, the spin lock) has an exact counterpart in the SDK's own
+// ecall/ocall implementation, and the marshalling is the same generated
+// code.  These tests exercise each paragraph of that argument.
+
+import (
+	"sync"
+	"testing"
+
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/sim"
+)
+
+// "Using shared plaintext memory for communication": HotCalls marshal with
+// the SDK's code, so the boundary checks are bit-for-bit the same — an
+// enclave pointer smuggled into an ecall [in] buffer fails both paths with
+// the same error.
+func TestSecuritySameMarshallingChecks(t *testing.T) {
+	f := newChanFixture(t)
+	var clk sim.Clock
+	// Craft a "buffer" that claims an in-enclave address: a leak attempt.
+	evil := &sdk.Buffer{Addr: f.e.Base() + 128, Data: make([]byte, 32)}
+
+	_, sdkErr := f.rt.ECall(&clk, "ecall_work", sdk.Buf(evil), sdk.Scalar(32))
+	_, hotErr := f.ch.HotECall(&clk, "ecall_work", sdk.Buf(evil), sdk.Scalar(32))
+	if sdkErr == nil || hotErr == nil {
+		t.Fatal("leak attempt accepted")
+	}
+	if sdkErr.Error() != hotErr.Error() {
+		t.Fatalf("SDK and HotCalls diverge on the same attack:\n  sdk: %v\n  hot: %v", sdkErr, hotErr)
+	}
+}
+
+// "Attacks on the data pointer": a tampered data pointer reaches the same
+// generated wrapper either way; out-of-enclave ocall sources are rejected
+// identically.
+func TestSecurityDataPointerAttack(t *testing.T) {
+	f := newChanFixture(t)
+	var clk sim.Clock
+	outside := f.rt.Arena.AllocBuffer(&clk, 64)
+
+	var sdkErr error
+	f.rt.MustBindECall("ecall_empty", func(ctx *sdk.Ctx, args []sdk.Arg) uint64 {
+		_, sdkErr = ctx.OCall("ocall_send", sdk.Buf(outside), sdk.Scalar(64))
+		return 0
+	})
+	f.rt.ECall(&clk, "ecall_empty")
+	_, hotErr := f.ch.HotOCall(&clk, "ocall_send", sdk.Buf(outside), sdk.Scalar(64))
+
+	if sdkErr == nil || hotErr == nil {
+		t.Fatal("exfiltration pointer accepted")
+	}
+	if sdkErr.Error() != hotErr.Error() {
+		t.Fatalf("divergent rejection: sdk=%v hot=%v", sdkErr, hotErr)
+	}
+}
+
+// "Requesting a function via call_ID": a manipulated call_ID makes the
+// untrusted side run the wrong function — the same power the adversary
+// already has over the SDK's ocall_index.  It must not crash the
+// responder, and out-of-table IDs return a sentinel.
+func TestSecurityCallIDManipulation(t *testing.T) {
+	var hc HotCall
+	executed := make([]int, 3)
+	table := make([]func(interface{}) uint64, 3)
+	for i := range table {
+		i := i
+		table[i] = func(interface{}) uint64 { executed[i]++; return uint64(i) }
+	}
+	r, wg := startResponder(&hc, table)
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	// The adversary flips the requested ID from 0 to 2: the wrong
+	// function runs, but nothing worse happens.
+	if ret, err := hc.Call(2, nil); err != nil || ret != 2 {
+		t.Fatalf("manipulated ID: (%d, %v)", ret, err)
+	}
+	if executed[2] != 1 || executed[0] != 0 {
+		t.Fatalf("execution counts: %v", executed)
+	}
+	// An out-of-range ID is caught by the bounds check.
+	if ret, err := hc.Call(999, nil); err != nil || ret != ^uint64(0) {
+		t.Fatalf("out-of-table ID: (%d, %v)", ret, err)
+	}
+	// The responder is still alive and serving.
+	if ret, err := hc.Call(1, nil); err != nil || ret != 1 {
+		t.Fatalf("responder dead after attacks: (%d, %v)", ret, err)
+	}
+	_ = r
+}
+
+// "Using the spin-lock located in shared memory": tampering with the lock
+// can only cause denial of service (out of the SGX threat model), never a
+// wrong result for completed calls.  A permanently held lock makes the
+// requester time out into the SDK fallback path.
+func TestSecuritySpinLockDoSOnly(t *testing.T) {
+	var hc HotCall
+	hc.Timeout = 8
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { return 42 },
+	})
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	// Healthy calls first.
+	for i := 0; i < 10; i++ {
+		if ret, err := hc.Call(0, nil); err != nil || ret != 42 {
+			t.Fatalf("healthy call: (%d, %v)", ret, err)
+		}
+	}
+	// Adversary wedges the lock: requesters experience DoS (timeout)
+	// and fall back to the SDK path, exactly the Section 4.2 mitigation.
+	hc.lock.Lock()
+	ret, err := hc.CallOrFallback(0, nil, func() (uint64, error) { return 7777, nil })
+	if err != nil || ret != 7777 {
+		t.Fatalf("fallback under wedged lock: (%d, %v)", ret, err)
+	}
+	hc.lock.Unlock()
+	// Service resumes once the DoS stops.
+	if ret, err := hc.Call(0, nil); err != nil || ret != 42 {
+		t.Fatalf("post-DoS call: (%d, %v)", ret, err)
+	}
+}
+
+// Responder death mid-stream must surface as ErrStopped on waiting
+// requesters rather than a hang (failure injection beyond the paper).
+func TestSecurityResponderDeath(t *testing.T) {
+	var hc HotCall
+	hc.Timeout = 1 << 20
+	slow := make(chan struct{})
+	_, wg := startResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { <-slow; return 1 },
+	})
+	var callErr error
+	var callWg sync.WaitGroup
+	callWg.Add(1)
+	go func() {
+		defer callWg.Done()
+		_, callErr = hc.Call(0, nil)
+	}()
+	// Let the call get picked up, then kill the system.
+	for {
+		hc.lock.Lock()
+		running := hc.state == stateRunning
+		hc.lock.Unlock()
+		if running {
+			break
+		}
+		pause()
+	}
+	hc.Stop()
+	close(slow) // the in-flight handler finishes
+	wg.Wait()
+	callWg.Wait()
+	// The requester either got the completed result or a clean stop —
+	// never a hang (reaching here proves no deadlock).
+	if callErr != nil && callErr != ErrStopped {
+		t.Fatalf("unexpected error: %v", callErr)
+	}
+}
+
+// Data confidentiality: the marshalled request data for a HotOCall [in]
+// parameter is a copy in untrusted memory — mutating it after the call
+// must not affect the enclave-side original (no TOCTOU back-channel).
+func TestSecurityStagingIsACopy(t *testing.T) {
+	f := newChanFixture(t)
+	var clk sim.Clock
+	src := f.enclaveBuf(t, 32)
+	for i := range src.Data {
+		src.Data[i] = 0x5a
+	}
+	var staged *sdk.Buffer
+	f.rt.MustBindOCall("ocall_send", func(ctx *sdk.Ctx, args []sdk.Arg) uint64 {
+		staged = args[0].Buf
+		return 0
+	})
+	if _, err := f.ch.HotOCall(&clk, "ocall_send", sdk.Buf(src), sdk.Scalar(32)); err != nil {
+		t.Fatal(err)
+	}
+	if staged == src {
+		t.Fatal("untrusted side received the enclave buffer itself")
+	}
+	staged.Data[0] = 0xff // adversary scribbles after the call
+	if src.Data[0] != 0x5a {
+		t.Fatal("untrusted write reached enclave memory")
+	}
+}

@@ -1,0 +1,190 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleEDL = `
+// Edge functions for the memcached port (Section 6.2).
+enclave {
+    trusted {
+        /* the main-wrapper entry */
+        public int ecall_main(void);
+        public void ecall_run_enclave_function([user_check] void* fn, [user_check] void* arg);
+        public int ecall_process([in, size=len] const uint8_t* req, size_t len,
+                                 [out, size=cap] uint8_t* resp, size_t cap);
+    };
+    untrusted {
+        size_t ocall_read([out, size=cap] uint8_t* buf, size_t cap, int fd);
+        size_t ocall_sendmsg([in, size=len] const uint8_t* buf, size_t len, int fd) allow(ecall_run_enclave_function);
+        void ocall_log([in, string] char* msg);
+        long ocall_time(void);
+        int ocall_fcntl(int fd, int cmd, [in, out, size=8] uint8_t* arg);
+    };
+};
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Trusted) != 3 || len(f.Untrusted) != 5 {
+		t.Fatalf("parsed %d trusted, %d untrusted", len(f.Trusted), len(f.Untrusted))
+	}
+	main := f.TrustedFunc("ecall_main")
+	if main == nil || !main.Public || main.Ret != "int" || len(main.Params) != 0 {
+		t.Fatalf("ecall_main = %+v", main)
+	}
+	proc := f.TrustedFunc("ecall_process")
+	if proc == nil {
+		t.Fatal("ecall_process missing")
+	}
+	if got := proc.Params[0]; got.Name != "req" || got.Direction != In || got.SizeParam != "len" || !got.Pointer || got.Type != "uint8_t" {
+		t.Fatalf("req param = %+v", got)
+	}
+	if got := proc.Params[2]; got.Direction != Out || got.SizeParam != "cap" {
+		t.Fatalf("resp param = %+v", got)
+	}
+	if got := proc.Params[1]; got.Pointer || got.Type != "size_t" {
+		t.Fatalf("len param = %+v", got)
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	f, err := Parse(`enclave { untrusted {
+		void f([in, out, size=n] uint8_t* b, size_t n,
+		       [user_check] void* raw,
+		       [out, size=4] uint8_t* fixed);
+	};};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.UntrustedFunc("f")
+	if fn.Params[0].Direction != InOut {
+		t.Fatalf("b direction = %v", fn.Params[0].Direction)
+	}
+	if fn.Params[2].Direction != UserCheck {
+		t.Fatalf("raw direction = %v", fn.Params[2].Direction)
+	}
+	if fn.Params[3].SizeConst != 4 {
+		t.Fatalf("fixed size = %d", fn.Params[3].SizeConst)
+	}
+}
+
+func TestParseAllowList(t *testing.T) {
+	f, err := Parse(`enclave {
+		trusted { public void cb(void); public void cb2(void); };
+		untrusted { void o(void) allow(cb, cb2); };
+	};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := f.UntrustedFunc("o")
+	if len(o.Allowed) != 2 || o.Allowed[0] != "cb" || o.Allowed[1] != "cb2" {
+		t.Fatalf("allowed = %v", o.Allowed)
+	}
+}
+
+func TestParseMultiWordTypes(t *testing.T) {
+	f, err := Parse(`enclave { trusted {
+		public unsigned int f(unsigned long x, struct timeval* tv);
+	};};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Trusted[0]
+	if fn.Ret != "unsigned int" {
+		t.Fatalf("ret = %q", fn.Ret)
+	}
+	if fn.Params[0].Type != "unsigned long" || fn.Params[0].Name != "x" {
+		t.Fatalf("param 0 = %+v", fn.Params[0])
+	}
+	if fn.Params[1].Type != "struct timeval" || !fn.Params[1].Pointer {
+		t.Fatalf("param 1 = %+v", fn.Params[1])
+	}
+}
+
+func TestParseStringAttr(t *testing.T) {
+	f, err := Parse(`enclave { untrusted { void log([in, string] char* s); };};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Untrusted[0].Params[0]
+	if !p.IsString || p.Direction != In {
+		t.Fatalf("param = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing enclave":     `trusted { };`,
+		"unterminated":        `enclave { trusted {`,
+		"unknown attr":        `enclave { trusted { public void f([inn] int* p); };};`,
+		"public ocall":        `enclave { untrusted { public void f(void); };};`,
+		"allow on ecall":      `enclave { trusted { public void f(void) allow(g); };};`,
+		"attr on scalar":      `enclave { trusted { public void f([in] int x); };};`,
+		"size names pointer":  `enclave { trusted { public void f([in, size=q] int* p, [user_check] int* q); };};`,
+		"size names missing":  `enclave { trusted { public void f([in, size=n] int* p); };};`,
+		"duplicate function":  `enclave { trusted { public void f(void); public void f(void); };};`,
+		"duplicate param":     `enclave { trusted { public void f(int a, int a); };};`,
+		"allow unknown ecall": `enclave { untrusted { void o(void) allow(nope); };};`,
+		"user_check string":   `enclave { untrusted { void o([user_check, string] char* s); };};`,
+		"pointer return":      `enclave { trusted { public int* f(void); };};`,
+		"missing semicolon":   `enclave { trusted { public void f(void) };};`,
+		"trailing garbage":    `enclave { trusted { }; }; extra`,
+		"const count":         `enclave { trusted { public void f([in, count=4] int* p); };};`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := `enclave { // line comment
+	/* block
+	   comment */ trusted { public void f(void); };
+	};`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trusted) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+func TestDirectionString(t *testing.T) {
+	for d, want := range map[Direction]string{
+		UserCheck: "user_check",
+		In:        "in",
+		Out:       "out",
+		InOut:     "in, out",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("Direction(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+	if !strings.HasPrefix(Direction(9).String(), "Direction(") {
+		t.Error("unknown direction should format numerically")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	f := MustParse(`enclave { trusted { public void f(void); }; };`)
+	if f.TrustedFunc("g") != nil || f.UntrustedFunc("f") != nil {
+		t.Fatal("lookups should miss")
+	}
+}

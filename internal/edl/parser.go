@@ -1,0 +1,368 @@
+package edl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses EDL source text into a validated File.
+func Parse(src string) (*File, error) {
+	p := &parser{toks: tokenize(src)}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for declarations embedded in
+// source code.
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type token struct {
+	text string
+	pos  int // byte offset for diagnostics
+}
+
+func tokenize(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				i = len(src)
+			} else {
+				i += end + 4
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case isWordByte(c):
+			start := i
+			for i < len(src) && isWordByte(src[i]) {
+				i++
+			}
+			toks = append(toks, token{src[start:i], start})
+		default:
+			toks = append(toks, token{string(c), i})
+			i++
+		}
+	}
+	return toks
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	where := "end of input"
+	if p.pos < len(p.toks) {
+		where = fmt.Sprintf("%q (offset %d)", p.toks[p.pos].text, p.toks[p.pos].pos)
+	}
+	return fmt.Errorf("edl: %s at %s", fmt.Sprintf(format, args...), where)
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].text
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek() == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q", text)
+	}
+	return nil
+}
+
+func (p *parser) file() (*File, error) {
+	if err := p.expect("enclave"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for !p.accept("}") {
+		switch p.peek() {
+		case "trusted":
+			p.next()
+			fns, err := p.block(true)
+			if err != nil {
+				return nil, err
+			}
+			f.Trusted = append(f.Trusted, fns...)
+		case "untrusted":
+			p.next()
+			fns, err := p.block(false)
+			if err != nil {
+				return nil, err
+			}
+			f.Untrusted = append(f.Untrusted, fns...)
+		case "":
+			return nil, p.errf("unterminated enclave block")
+		default:
+			return nil, p.errf("expected trusted or untrusted block")
+		}
+	}
+	p.accept(";")
+	if p.pos != len(p.toks) {
+		return nil, p.errf("trailing input")
+	}
+	return f, nil
+}
+
+func (p *parser) block(trusted bool) ([]Func, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var fns []Func
+	for !p.accept("}") {
+		if p.peek() == "" {
+			return nil, p.errf("unterminated block")
+		}
+		fn, err := p.decl(trusted)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, *fn)
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return fns, nil
+}
+
+func (p *parser) decl(trusted bool) (*Func, error) {
+	fn := &Func{}
+	if p.accept("public") {
+		if !trusted {
+			return nil, p.errf("public only applies to trusted functions")
+		}
+		fn.Public = true
+	}
+	ret, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	fn.Ret = ret
+	// Pointer returns are not supported by edger8r either.
+	if p.peek() == "*" {
+		return nil, p.errf("pointer return types are not supported")
+	}
+	name := p.next()
+	if !isIdent(name) {
+		return nil, p.errf("expected function name")
+	}
+	fn.Name = name
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.peek() == "void" && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == ")" {
+			p.next()
+			p.next()
+		} else {
+			for {
+				param, err := p.param()
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, *param)
+				if p.accept(")") {
+					break
+				}
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if p.accept("allow") {
+		if trusted {
+			return nil, p.errf("allow only applies to untrusted functions")
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			n := p.next()
+			if !isIdent(n) {
+				return nil, p.errf("expected ecall name in allow list")
+			}
+			fn.Allowed = append(fn.Allowed, n)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) param() (*Param, error) {
+	param := &Param{Direction: UserCheck}
+	hasIn, hasOut, hasAttrs := false, false, false
+	if p.accept("[") {
+		hasAttrs = true
+		for {
+			switch attr := p.next(); attr {
+			case "in":
+				hasIn = true
+			case "out":
+				hasOut = true
+			case "user_check":
+			case "string":
+				param.IsString = true
+			case "isptr", "readonly":
+				// accepted and ignored, as for user-defined types
+			case "size", "count":
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				v := p.next()
+				if n, err := strconv.ParseUint(v, 0, 64); err == nil {
+					if attr == "size" {
+						param.SizeConst = n
+					} else {
+						return nil, p.errf("constant count not supported; use size")
+					}
+				} else if isIdent(v) {
+					if attr == "size" {
+						param.SizeParam = v
+					} else {
+						param.CountParm = v
+					}
+				} else {
+					return nil, p.errf("bad %s value %q", attr, v)
+				}
+			default:
+				return nil, p.errf("unknown attribute %q", attr)
+			}
+			if p.accept("]") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	switch {
+	case hasIn && hasOut:
+		param.Direction = InOut
+	case hasIn:
+		param.Direction = In
+	case hasOut:
+		param.Direction = Out
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	param.Type = typ
+	for p.accept("*") {
+		param.Pointer = true
+	}
+	name := p.next()
+	if !isIdent(name) {
+		return nil, p.errf("expected parameter name")
+	}
+	param.Name = name
+	if hasAttrs && !param.Pointer {
+		return nil, p.errf("attributes on non-pointer parameter %q", name)
+	}
+	return param, nil
+}
+
+// typeName consumes a C type spelling: optional const, then one or more
+// identifier words ("unsigned int", "struct sockaddr").  Consumption stops
+// after the first word that is not a qualifier, leaving the declarator
+// name for the caller.
+func (p *parser) typeName() (string, error) {
+	var words []string
+	p.accept("const")
+	for {
+		w := p.peek()
+		if !isIdent(w) || w == "public" || w == "allow" {
+			break
+		}
+		if len(words) > 0 && !mayFollow(words[len(words)-1], w) {
+			break
+		}
+		words = append(words, p.next())
+	}
+	if len(words) == 0 {
+		return "", p.errf("expected type name")
+	}
+	return strings.Join(words, " "), nil
+}
+
+// mayFollow reports whether word w continues a type spelling whose previous
+// word was prev ("unsigned int", "struct timeval", "long long", ...).
+func mayFollow(prev, w string) bool {
+	switch prev {
+	case "unsigned", "signed", "struct":
+		return true
+	case "long":
+		return w == "long" || w == "int" || w == "double"
+	}
+	return false
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}

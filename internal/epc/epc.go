@@ -1,0 +1,274 @@
+// Package epc models the Enclave Page Cache: the encrypted region of
+// Processor Reserved Memory that holds all enclave pages.  The testbed's
+// EPC is 93 MB; when enclaves need more, the SGX driver swaps pages out
+// with EWB and back in with ELDU.  That paging traffic is what makes the
+// paper's libquantum run 5.2x slower (its 96 MB working set just exceeds
+// the EPC, Section 3.4).
+//
+// The package has a functional half — EWB really does encrypt, MAC, and
+// version pages so that swapped-out content is confidential, tamper-evident
+// and replay-protected — and a performance half, the per-fault cycle costs
+// used by the memory system.
+package epc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the SGX page granularity.
+const PageSize = 4096
+
+// DefaultCapacityBytes is the usable EPC size of the paper's testbed
+// (93 MB; the BIOS reserves 128 MB of PRM, the rest holds metadata).
+const DefaultCapacityBytes = 93 << 20
+
+// Paging cost constants, in cycles.  An EPC fault costs a trap into the
+// kernel driver and an ELDU (decrypt + verify + install) for the missing
+// page; when the EPC is full, each eviction the fault forces adds a full
+// EWB (encrypt + MAC + write-out).  Under sustained thrash — the paper's
+// libquantum, whose 96 MB working set exceeds the 93 MB EPC — every fault
+// pays trap + ELDU + EWB (~9,000 cycles), which reproduces the 5.2x
+// slowdown; with headroom a compulsory fault costs only trap + ELDU.
+const (
+	FaultTrapCost = 1500
+	ELDUCost      = 3800
+	EWBCost       = 3700
+	FaultCost     = FaultTrapCost + ELDUCost // plus EWBCost per eviction
+)
+
+// Errors from the functional swap path.
+var (
+	ErrSwapIntegrity = errors.New("epc: swapped page failed authentication (tampered)")
+	ErrSwapReplay    = errors.New("epc: swapped page version mismatch (replay attack)")
+)
+
+// SealedPage is an encrypted page in untrusted memory, as produced by EWB.
+type SealedPage struct {
+	nonce   [12]byte
+	payload []byte // AES-GCM sealed page content
+	version uint64 // as claimed by the blob; the trusted copy is the VA
+}
+
+type pageState struct {
+	referenced bool   // clock algorithm reference bit
+	version    uint64 // bumped on every swap-out (Version Array entry)
+}
+
+// Manager tracks EPC residency for a set of enclave pages and charges
+// paging costs.  Page numbers are virtual page indices (address/PageSize).
+// It is not safe for concurrent use.
+type Manager struct {
+	capacity int // pages
+	resident map[uint64]*pageState
+	clock    []uint64 // circular list of resident page numbers
+	hand     int
+
+	// Functional swap state.
+	sealKey  [16]byte
+	aead     cipher.AEAD
+	content  map[uint64][]byte // plaintext content of resident pages (optional)
+	swapped  map[uint64]*SealedPage
+	versions map[uint64]uint64 // the trusted Version Array (lives in EPC)
+
+	faults    uint64
+	evictions uint64
+	touches   uint64
+}
+
+// NewManager returns an EPC manager with the given capacity in bytes,
+// sealing swapped pages with the given paging key.
+func NewManager(capacityBytes int, sealKey [16]byte) *Manager {
+	if capacityBytes < PageSize {
+		panic("epc: capacity below one page")
+	}
+	block, err := aes.NewCipher(sealKey[:])
+	if err != nil {
+		panic(fmt.Sprintf("epc: %v", err))
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(fmt.Sprintf("epc: %v", err))
+	}
+	return &Manager{
+		capacity: capacityBytes / PageSize,
+		resident: make(map[uint64]*pageState),
+		sealKey:  sealKey,
+		aead:     aead,
+		content:  make(map[uint64][]byte),
+		swapped:  make(map[uint64]*SealedPage),
+		versions: make(map[uint64]uint64),
+	}
+}
+
+// CapacityPages returns the EPC capacity in pages.
+func (m *Manager) CapacityPages() int { return m.capacity }
+
+// ResidentPages returns the number of currently resident pages.
+func (m *Manager) ResidentPages() int { return len(m.resident) }
+
+// Stats returns cumulative touch, fault, and eviction counts.
+func (m *Manager) Stats() (touches, faults, evictions uint64) {
+	return m.touches, m.faults, m.evictions
+}
+
+// Touch records an access to a page and returns the paging cost in cycles:
+// zero when resident, FaultCost (plus this fault's share of any needed
+// eviction work) when the page must be brought in.
+func (m *Manager) Touch(page uint64) (fault bool, cycles float64) {
+	m.touches++
+	if st, ok := m.resident[page]; ok {
+		st.referenced = true
+		return false, 0
+	}
+	m.faults++
+	cycles = FaultCost
+	for len(m.resident) >= m.capacity {
+		m.evictOne()
+		cycles += EWBCost
+	}
+	m.install(page)
+	return true, cycles
+}
+
+func (m *Manager) install(page uint64) {
+	// The trusted version comes from the Version Array, never from the
+	// untrusted blob — that is what defeats replay of older seals.
+	st := &pageState{referenced: true, version: m.versions[page]}
+	m.resident[page] = st
+	m.clock = append(m.clock, page)
+}
+
+// evictOne runs the clock (second-chance) algorithm and swaps one victim
+// out.
+func (m *Manager) evictOne() {
+	for {
+		if len(m.clock) == 0 {
+			panic("epc: evict from empty clock")
+		}
+		if m.hand >= len(m.clock) {
+			m.hand = 0
+		}
+		page := m.clock[m.hand]
+		st, ok := m.resident[page]
+		if !ok {
+			// Stale clock entry; drop it.
+			m.clock = append(m.clock[:m.hand], m.clock[m.hand+1:]...)
+			continue
+		}
+		if st.referenced {
+			st.referenced = false
+			m.hand++
+			continue
+		}
+		// Victim found: EWB.
+		m.evictions++
+		m.clock = append(m.clock[:m.hand], m.clock[m.hand+1:]...)
+		m.swapOut(page, st)
+		delete(m.resident, page)
+		return
+	}
+}
+
+// swapOut seals a page's content (when the functional path holds content)
+// and bumps its version so any replay of an older blob is detectable.
+func (m *Manager) swapOut(page uint64, st *pageState) {
+	st.version++
+	m.versions[page] = st.version
+	blob := &SealedPage{version: st.version}
+	binary.LittleEndian.PutUint64(blob.nonce[:8], page)
+	binary.LittleEndian.PutUint32(blob.nonce[8:], uint32(st.version))
+	if data, ok := m.content[page]; ok {
+		var aad [16]byte
+		binary.LittleEndian.PutUint64(aad[:8], page)
+		binary.LittleEndian.PutUint64(aad[8:], st.version)
+		blob.payload = m.aead.Seal(nil, blob.nonce[:], data, aad[:])
+		delete(m.content, page)
+	}
+	m.swapped[page] = blob
+}
+
+// WritePage stores plaintext content for a resident page, faulting it in if
+// needed.  It returns the paging cost incurred.
+func (m *Manager) WritePage(page uint64, data []byte) (cycles float64, err error) {
+	if len(data) != PageSize {
+		panic("epc: page content must be exactly PageSize bytes")
+	}
+	fault, cycles := m.Touch(page)
+	if fault {
+		if _, err := m.swapIn(page); err != nil {
+			return cycles, err
+		}
+	}
+	m.content[page] = append([]byte(nil), data...)
+	return cycles, nil
+}
+
+// ReadPage returns the plaintext content of a page, faulting it in (with
+// verification) if it was swapped out.
+func (m *Manager) ReadPage(page uint64) (data []byte, cycles float64, err error) {
+	fault, cycles := m.Touch(page)
+	if fault {
+		if _, err := m.swapIn(page); err != nil {
+			return nil, cycles, err
+		}
+	}
+	return m.content[page], cycles, nil
+}
+
+// swapIn verifies and decrypts a swapped blob back into content.  A page
+// that was never given content swaps in as nil content with no error.
+func (m *Manager) swapIn(page uint64) ([]byte, error) {
+	blob, ok := m.swapped[page]
+	if !ok || blob.payload == nil {
+		return nil, nil
+	}
+	if blob.version != m.versions[page] {
+		return nil, ErrSwapReplay
+	}
+	var aad [16]byte
+	binary.LittleEndian.PutUint64(aad[:8], page)
+	binary.LittleEndian.PutUint64(aad[8:], blob.version)
+	data, err := m.aead.Open(nil, blob.nonce[:], blob.payload, aad[:])
+	if err != nil {
+		return nil, ErrSwapIntegrity
+	}
+	delete(m.swapped, page)
+	m.content[page] = data
+	return data, nil
+}
+
+// TamperSwapped flips a bit in the sealed blob of a swapped-out page,
+// modelling an attack on the swap region in untrusted memory.  It reports
+// whether such a blob existed.
+func (m *Manager) TamperSwapped(page uint64) bool {
+	blob, ok := m.swapped[page]
+	if !ok || len(blob.payload) == 0 {
+		return false
+	}
+	blob.payload[0] ^= 1
+	return true
+}
+
+// SwapSnapshot captures the sealed blob of a swapped-out page so a test can
+// replay it later (the rollback attack against paging).
+func (m *Manager) SwapSnapshot(page uint64) *SealedPage {
+	blob, ok := m.swapped[page]
+	if !ok {
+		return nil
+	}
+	cp := *blob
+	cp.payload = append([]byte(nil), blob.payload...)
+	return &cp
+}
+
+// ReplaySwapped installs an old sealed blob for a page, modelling the
+// replay attack.
+func (m *Manager) ReplaySwapped(page uint64, blob *SealedPage) {
+	cp := *blob
+	cp.payload = append([]byte(nil), blob.payload...)
+	m.swapped[page] = &cp
+}

@@ -1,0 +1,249 @@
+package epc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hotcalls/internal/sim"
+)
+
+func newTestManager(pages int) *Manager {
+	var key [16]byte
+	copy(key[:], "paging-seal-key!")
+	return NewManager(pages*PageSize, key)
+}
+
+func pageData(b byte) []byte {
+	d := make([]byte, PageSize)
+	for i := range d {
+		d[i] = b + byte(i%13)
+	}
+	return d
+}
+
+func TestTouchResidentIsFree(t *testing.T) {
+	m := newTestManager(4)
+	if fault, _ := m.Touch(1); !fault {
+		t.Fatal("first touch should fault")
+	}
+	fault, cycles := m.Touch(1)
+	if fault || cycles != 0 {
+		t.Fatalf("resident touch = (%v, %v), want (false, 0)", fault, cycles)
+	}
+}
+
+func TestFaultCostCharged(t *testing.T) {
+	m := newTestManager(4)
+	_, cycles := m.Touch(9)
+	if cycles != FaultCost {
+		t.Fatalf("fault cost = %v, want %v", cycles, float64(FaultCost))
+	}
+}
+
+func TestEvictionWhenFull(t *testing.T) {
+	m := newTestManager(2)
+	m.Touch(1)
+	m.Touch(2)
+	m.Touch(3) // must evict
+	if m.ResidentPages() != 2 {
+		t.Fatalf("resident = %d, want 2", m.ResidentPages())
+	}
+	_, faults, evictions := m.Stats()
+	if faults != 3 || evictions != 1 {
+		t.Fatalf("faults=%d evictions=%d, want 3, 1", faults, evictions)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	m := newTestManager(3)
+	m.Touch(1)
+	m.Touch(2)
+	m.Touch(3)
+	// First eviction sweeps reference bits and evicts page 1, leaving
+	// pages 2 and 3 with cleared bits.
+	m.Touch(4)
+	// Re-reference 2: the clock hand must now skip it (second chance)
+	// and evict 3 instead.
+	m.Touch(2)
+	m.Touch(5)
+	if fault, _ := m.Touch(2); fault {
+		t.Fatal("page 2 was referenced and should have survived the sweep")
+	}
+	if fault, _ := m.Touch(3); !fault {
+		t.Fatal("page 3 was unreferenced and should have been evicted")
+	}
+}
+
+func TestSequentialSweepThrashes(t *testing.T) {
+	// A working set one page larger than capacity, swept sequentially
+	// with clock replacement, faults on every access after warmup — the
+	// libquantum pathology.
+	m := newTestManager(8)
+	for p := uint64(0); p < 9; p++ {
+		m.Touch(p)
+	}
+	faultsBefore := uint64(0)
+	_, faultsBefore, _ = m.Stats()
+	n := uint64(0)
+	for sweep := 0; sweep < 3; sweep++ {
+		for p := uint64(0); p < 9; p++ {
+			m.Touch(p)
+			n++
+		}
+	}
+	_, faultsAfter, _ := m.Stats()
+	rate := float64(faultsAfter-faultsBefore) / float64(n)
+	if rate < 0.9 {
+		t.Fatalf("sequential overcommit fault rate = %.2f, want ~1.0", rate)
+	}
+}
+
+func TestWorkingSetWithinCapacityNeverFaultsAgain(t *testing.T) {
+	m := newTestManager(16)
+	for p := uint64(0); p < 16; p++ {
+		m.Touch(p)
+	}
+	_, before, _ := m.Stats()
+	for sweep := 0; sweep < 5; sweep++ {
+		for p := uint64(0); p < 16; p++ {
+			m.Touch(p)
+		}
+	}
+	_, after, _ := m.Stats()
+	if after != before {
+		t.Fatalf("faults grew from %d to %d with resident working set", before, after)
+	}
+}
+
+func TestSwapRoundTrip(t *testing.T) {
+	m := newTestManager(2)
+	want := pageData(0x42)
+	if _, err := m.WritePage(1, want); err != nil {
+		t.Fatal(err)
+	}
+	// Force page 1 out.
+	m.Touch(2)
+	m.Touch(3)
+	m.Touch(4)
+	got, _, err := m.ReadPage(1)
+	if err != nil {
+		t.Fatalf("ReadPage after swap: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page content corrupted by swap round trip")
+	}
+}
+
+func TestSwappedContentIsEncrypted(t *testing.T) {
+	m := newTestManager(1)
+	want := pageData(0x77)
+	if _, err := m.WritePage(1, want); err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(2) // evict page 1
+	blob := m.SwapSnapshot(1)
+	if blob == nil {
+		t.Fatal("no sealed page for evicted page")
+	}
+	if bytes.Contains(blob.payload, want[:128]) {
+		t.Fatal("sealed page leaks plaintext")
+	}
+}
+
+func TestTamperSwappedDetected(t *testing.T) {
+	m := newTestManager(1)
+	if _, err := m.WritePage(1, pageData(0x01)); err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(2)
+	if !m.TamperSwapped(1) {
+		t.Fatal("tamper target missing")
+	}
+	_, _, err := m.ReadPage(1)
+	if !errors.Is(err, ErrSwapIntegrity) {
+		t.Fatalf("err = %v, want ErrSwapIntegrity", err)
+	}
+}
+
+func TestReplaySwappedDetected(t *testing.T) {
+	m := newTestManager(1)
+	if _, err := m.WritePage(1, pageData(0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	m.Touch(2) // evict v1
+	old := m.SwapSnapshot(1)
+	if _, _, err := m.ReadPage(1); err != nil { // fault back in
+		t.Fatal(err)
+	}
+	if _, err := m.WritePage(1, pageData(0xb2)); err != nil { // newer content
+		t.Fatal(err)
+	}
+	m.Touch(3) // evict v2
+	m.ReplaySwapped(1, old)
+	_, _, err := m.ReadPage(1)
+	if !errors.Is(err, ErrSwapReplay) {
+		t.Fatalf("err = %v, want ErrSwapReplay", err)
+	}
+}
+
+func TestResidencyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		m := newTestManager(8)
+		for i := 0; i < 300; i++ {
+			m.Touch(uint64(r.Intn(64)))
+			if m.ResidentPages() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentPreservedUnderRandomPressure(t *testing.T) {
+	r := sim.NewRNG(77)
+	m := newTestManager(4)
+	truth := map[uint64]byte{}
+	for i := 0; i < 400; i++ {
+		p := uint64(r.Intn(16))
+		if r.Bool(0.5) {
+			b := byte(r.Intn(256))
+			if _, err := m.WritePage(p, pageData(b)); err != nil {
+				t.Fatalf("write page %d: %v", p, err)
+			}
+			truth[p] = b
+		} else if want, ok := truth[p]; ok {
+			got, _, err := m.ReadPage(p)
+			if err != nil {
+				t.Fatalf("read page %d: %v", p, err)
+			}
+			if !bytes.Equal(got, pageData(want)) {
+				t.Fatalf("page %d content diverged", p)
+			}
+		}
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManager(100, [16]byte{})
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := newTestManager(2)
+	m.WritePage(0, []byte{1})
+}

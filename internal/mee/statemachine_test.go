@@ -1,0 +1,164 @@
+package mee
+
+import (
+	"bytes"
+	"testing"
+
+	"hotcalls/internal/sim"
+)
+
+// TestRandomizedAttackInterleaving drives the functional MEE through a long
+// random interleaving of writes, reads, tampers, and rollback attempts,
+// tracking a model of which lines are currently corrupted.  Invariants:
+// clean lines always read back their last written value; tampered lines
+// always fail until rewritten; replaying a *stale* snapshot poisons the
+// tree (its top node shares every path), and nothing verifies afterwards —
+// the drop-and-lock semantic of real integrity hardware.
+//
+// The model tracks tamper-bit parity: TamperData XORs one bit, so two
+// tampers at the same offset cancel and the line is clean again — the
+// MEE's job is to track *content*, not attack attempts.
+func TestRandomizedAttackInterleaving(t *testing.T) {
+	const lines = 512
+	tree := NewTree(testKey(), lines)
+	rng := sim.NewRNG(20240706)
+
+	written := map[uint64][]byte{}     // last written plaintext
+	flips := map[uint64]map[int]bool{} // outstanding ciphertext bit flips
+	epoch := 0                         // global write counter
+	type snap struct {
+		s     *Snapshot
+		epoch int
+	}
+	snaps := map[uint64]snap{}
+
+	lineBroken := func(line uint64) bool { return len(flips[line]) > 0 }
+	content := func(seed byte) []byte {
+		d := make([]byte, LineSize)
+		for i := range d {
+			d[i] = seed ^ byte(i*3)
+		}
+		return d
+	}
+
+	// Phase 1: long clean interleaving of writes, reads, tampers, and
+	// epoch-current restores.
+	for step := 0; step < 6000; step++ {
+		line := uint64(rng.Intn(lines))
+		switch rng.Intn(6) {
+		case 0, 1: // write (repairs line-level tampering)
+			d := content(byte(rng.Intn(256)))
+			if err := tree.WriteLine(line, d); err != nil {
+				t.Fatalf("step %d: write to clean tree failed: %v", step, err)
+			}
+			written[line] = d
+			delete(flips, line)
+			epoch++
+		case 2: // read and verify against the model
+			got, err := tree.ReadLine(line)
+			switch {
+			case written[line] == nil:
+				if err == nil {
+					t.Fatalf("step %d: read of never-written line %d succeeded", step, line)
+				}
+			case lineBroken(line):
+				if err == nil {
+					t.Fatalf("step %d: read of tampered line %d succeeded", step, line)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("step %d: clean line %d failed: %v", step, line, err)
+				}
+				if !bytes.Equal(got, written[line]) {
+					t.Fatalf("step %d: line %d data diverged", step, line)
+				}
+			}
+		case 3: // tamper: XOR one ciphertext bit (parity-tracked)
+			idx := rng.Intn(LineSize)
+			if tree.TamperData(line, idx) {
+				m := flips[line]
+				if m == nil {
+					m = map[int]bool{}
+					flips[line] = m
+				}
+				if m[idx] {
+					delete(m, idx) // second flip cancels the first
+				} else {
+					m[idx] = true
+				}
+			}
+		case 4: // snapshot the current DRAM state of a clean line (a
+			// snapshot of tampered ciphertext would later restore
+			// the tampering along with it, which the flip-parity
+			// model does not track)
+			if written[line] != nil && !lineBroken(line) {
+				if s := tree.Snapshot(line); s != nil {
+					snaps[line] = snap{s: s, epoch: epoch}
+				}
+			}
+		case 5: // replay a snapshot ONLY while it is epoch-current:
+			// counter-tree nodes are shared, so any intervening
+			// write anywhere can make it stale (phase 2 covers
+			// the stale case).
+			if sn, ok := snaps[line]; ok && sn.epoch == epoch {
+				tree.Restore(sn.s)
+				// Identical DRAM state reinstalled; it also
+				// rewinds any tamper flips applied since.
+				delete(flips, line)
+			}
+		}
+	}
+
+	// Phase 2: the rollback attack.  Snapshot a line, update it, replay
+	// the stale snapshot: the tree's shared top node no longer matches
+	// the on-die counters and everything must fail — the drop-and-lock
+	// semantic of real integrity hardware.
+	victim := uint64(rng.Intn(lines))
+	if err := tree.WriteLine(victim, content(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	stale := tree.Snapshot(victim)
+	if err := tree.WriteLine(victim, content(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	tree.Restore(stale)
+	for step := 0; step < 300; step++ {
+		line := uint64(rng.Intn(lines))
+		if rng.Bool(0.5) {
+			if err := tree.WriteLine(line, content(byte(step))); err == nil {
+				t.Fatalf("poisoned step %d: write laundered the replayed tree", step)
+			}
+		} else if written[line] != nil {
+			if _, err := tree.ReadLine(line); err == nil {
+				t.Fatalf("poisoned step %d: read of line %d succeeded on poisoned tree", step, line)
+			}
+		}
+	}
+}
+
+// TestWriteDoesNotLaunderReplay is the regression for the vulnerability
+// this state machine originally caught: after a stale snapshot is
+// replayed, a subsequent legitimate write must NOT re-sign the attacker's
+// nodes and make the rollback invisible.
+func TestWriteDoesNotLaunderReplay(t *testing.T) {
+	tree := NewTree(testKey(), 1024)
+	old := line(0x01)
+	if err := tree.WriteLine(7, old); err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Snapshot(7)
+	if err := tree.WriteLine(7, line(0x02)); err != nil {
+		t.Fatal(err)
+	}
+	tree.Restore(s) // plant the stale path
+
+	// The laundering attempt: a write to a *different* line whose path
+	// shares nodes with line 7.  verify-before-modify must reject it.
+	if err := tree.WriteLine(8, line(0x03)); err == nil {
+		t.Fatal("write through a replayed path succeeded: laundering possible")
+	}
+	// And the stale data must still be unreadable.
+	if got, err := tree.ReadLine(7); err == nil && bytes.Equal(got, old) {
+		t.Fatal("rollback laundered: stale data read back cleanly")
+	}
+}

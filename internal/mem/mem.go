@@ -1,0 +1,274 @@
+// Package mem is the simulated memory hierarchy: it combines the last-level
+// cache model, the Memory Encryption Engine cost model, and the Enclave
+// Page Cache into a single System that every substrate charges its memory
+// accesses through.
+//
+// The address space is split into a plaintext region and an enclave region;
+// accesses to enclave addresses pay MEE costs and can fault pages in and
+// out of the EPC.  The latency constants are calibrated against Table 1 of
+// the paper (see DESIGN.md section 4).
+package mem
+
+import (
+	"hotcalls/internal/cache"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/mee"
+	"hotcalls/internal/sim"
+)
+
+// Address-space layout.  The enclave region sits far above plaintext
+// memory; anything at or above EnclaveBase is EPC-backed and encrypted.
+const (
+	PlainBase   = uint64(0x0000_1000_0000)
+	EnclaveBase = uint64(0x7000_0000_0000)
+	LineSize    = 64
+)
+
+// Latency constants, in cycles.  Each is pinned to a row of Table 1 or to
+// a decomposition documented in DESIGN.md section 4.
+const (
+	demandHitCost  = 12   // load/store hit anywhere in the hierarchy
+	streamHitCost  = 2    // pipelined hit during a streaming sweep
+	streamLine     = 21.9 // prefetched DRAM read, per line (727 = 32 lines + fence at 2 KB)
+	streamRFO      = 7    // pipelined read-for-ownership, per line
+	flushLine      = 50   // clflush issue cost per line
+	writebackLine  = 144  // dirty-line write-back drained by clflush
+	victimWB       = 15   // overlapped write-back of an evicted dirty line
+	MFenceCost     = 25
+	CopyPerByte    = 0.125  // optimized memcpy: 8 bytes per cycle
+	CopyAVXPerByte = 0.0416 // AVX-256 memcpy: ~24 bytes per cycle sustained
+	MemsetPerByte  = 1.0    // the SDK's byte-wise memset: 1 byte per cycle
+)
+
+// dramLoad and dramStore model DRAM row-buffer outcomes for isolated
+// (demand) misses: row hit, row miss, row conflict.  Medians are pinned to
+// Table 1 rows 9-10 (308 load, 481 store for plaintext).
+var (
+	dramLoad  = sim.Mixture{Values: []float64{230, 308, 520}, Weights: []float64{0.35, 0.45, 0.20}}
+	dramStore = sim.Mixture{Values: []float64{400, 481, 650}, Weights: []float64{0.35, 0.45, 0.20}}
+)
+
+// System is one simulated socket's memory hierarchy.  It is not safe for
+// concurrent use; the application simulations are single-threaded
+// discrete-event loops, matching the single-threaded servers in the paper.
+type System struct {
+	LLC *cache.Cache
+	MEE *mee.CostModel
+	EPC *epc.Manager
+	rng *sim.RNG
+
+	pageFaults uint64
+}
+
+// New returns a memory system with the testbed geometry: 8 MB LLC, MEE
+// over the enclave region, and a 93 MB EPC.
+func New(rng *sim.RNG) *System {
+	var sealKey [16]byte
+	copy(sealKey[:], "epc-paging-seal0")
+	return &System{
+		LLC: cache.New(cache.LLCConfig),
+		MEE: mee.NewCostModel(),
+		EPC: epc.NewManager(epc.DefaultCapacityBytes, sealKey),
+		rng: rng,
+	}
+}
+
+// NewWithEPC returns a memory system with a custom EPC capacity, used by
+// the paging experiments.
+func NewWithEPC(rng *sim.RNG, epcBytes int) *System {
+	s := New(rng)
+	var sealKey [16]byte
+	copy(sealKey[:], "epc-paging-seal0")
+	s.EPC = epc.NewManager(epcBytes, sealKey)
+	return s
+}
+
+// IsEnclave reports whether an address lies in the encrypted enclave
+// region.
+func (s *System) IsEnclave(addr uint64) bool { return addr >= EnclaveBase }
+
+// lineIndex returns the MEE line index for an enclave address.
+func lineIndex(addr uint64) uint64 { return (addr - EnclaveBase) / LineSize }
+
+// page returns the EPC page index for an enclave address.
+func page(addr uint64) uint64 { return (addr - EnclaveBase) / epc.PageSize }
+
+// PageFaults returns the cumulative number of EPC page faults charged.
+func (s *System) PageFaults() uint64 { return s.pageFaults }
+
+// touchPage charges EPC paging cost for an enclave access.
+func (s *System) touchPage(clk *sim.Clock, addr uint64) {
+	fault, cycles := s.EPC.Touch(page(addr))
+	if fault {
+		s.pageFaults++
+		clk.AdvanceF(cycles)
+	}
+}
+
+// Load performs one isolated (demand) load of the line containing addr.
+func (s *System) Load(clk *sim.Clock, addr uint64) {
+	enc := s.IsEnclave(addr)
+	if enc {
+		s.touchPage(clk, addr)
+	}
+	hit, victim := s.LLC.Access(addr, false)
+	if hit {
+		clk.AdvanceF(demandHitCost)
+		return
+	}
+	lat := dramLoad.Sample(s.rng)
+	if enc {
+		lat += s.MEE.DemandLoadExtra(lineIndex(addr))
+	}
+	if victim.Valid && victim.Dirty {
+		lat += victimWB
+	}
+	clk.AdvanceF(lat)
+}
+
+// Store performs one isolated (demand) store to the line containing addr.
+func (s *System) Store(clk *sim.Clock, addr uint64) {
+	enc := s.IsEnclave(addr)
+	if enc {
+		s.touchPage(clk, addr)
+	}
+	hit, victim := s.LLC.Access(addr, true)
+	if hit {
+		clk.AdvanceF(demandHitCost)
+		return
+	}
+	lat := dramStore.Sample(s.rng)
+	if enc {
+		lat += s.MEE.DemandStoreExtra(lineIndex(addr))
+	}
+	if victim.Valid && victim.Dirty {
+		lat += victimWB
+	}
+	clk.AdvanceF(lat)
+}
+
+// StreamRead charges a consecutive, prefetched read sweep over
+// [addr, addr+size).
+func (s *System) StreamRead(clk *sim.Clock, addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	enc := s.IsEnclave(addr)
+	footprint := int((size + LineSize - 1) / LineSize)
+	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
+		if enc {
+			s.touchPage(clk, a)
+		}
+		hit, victim := s.LLC.Access(a, false)
+		if hit {
+			clk.AdvanceF(streamHitCost)
+			continue
+		}
+		lat := float64(streamLine)
+		if enc {
+			lat += s.MEE.StreamLoadExtra(lineIndex(a), footprint)
+		}
+		if victim.Valid && victim.Dirty {
+			lat += victimWB
+		}
+		clk.AdvanceF(lat)
+	}
+}
+
+// StreamWrite charges a consecutive store sweep over [addr, addr+size):
+// read-for-ownership fills pipelined behind the stores.
+func (s *System) StreamWrite(clk *sim.Clock, addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	enc := s.IsEnclave(addr)
+	footprint := int((size + LineSize - 1) / LineSize)
+	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
+		if enc {
+			s.touchPage(clk, a)
+		}
+		hit, victim := s.LLC.Access(a, true)
+		if hit {
+			clk.AdvanceF(streamHitCost)
+			continue
+		}
+		lat := float64(streamRFO)
+		if enc {
+			lat += s.MEE.StreamStoreExtra(lineIndex(a), footprint)
+		}
+		if victim.Valid && victim.Dirty {
+			lat += victimWB
+		}
+		clk.AdvanceF(lat)
+	}
+}
+
+// Copy charges an optimized memcpy of size bytes from src to dst: the
+// compute cost plus a read sweep of the source and a store sweep of the
+// destination.
+func (s *System) Copy(clk *sim.Clock, dst, src, size uint64) {
+	clk.AdvanceF(float64(size) * CopyPerByte)
+	s.StreamRead(clk, src, size)
+	s.StreamWrite(clk, dst, size)
+}
+
+// MemsetByteWise charges the SGX SDK's proprietary byte-wise memset — the
+// pathologically slow zeroing the paper blames for the cost of the `out`
+// buffer option (Sections 3.2.1 and 3.3).
+func (s *System) MemsetByteWise(clk *sim.Clock, addr, size uint64) {
+	clk.AdvanceF(float64(size) * MemsetPerByte)
+	s.StreamWrite(clk, addr, size)
+}
+
+// MemsetFast charges a word-wide memset, the optimization the paper
+// recommends the SDK adopt (Section 3.5, "Further optimizations").
+func (s *System) MemsetFast(clk *sim.Clock, addr, size uint64) {
+	clk.AdvanceF(float64(size) * CopyPerByte)
+	s.StreamWrite(clk, addr, size)
+}
+
+// CopyAVX charges an AVX-accelerated memcpy, the wide-register variant the
+// paper suggests for large buffer transfers (Section 3.5).
+func (s *System) CopyAVX(clk *sim.Clock, dst, src, size uint64) {
+	clk.AdvanceF(float64(size) * CopyAVXPerByte)
+	s.StreamRead(clk, src, size)
+	s.StreamWrite(clk, dst, size)
+}
+
+// FlushRange issues clflush for every line in [addr, addr+size) and drains
+// dirty write-backs, charging the caller (cost-free for the experiment
+// harness's between-runs eviction: use EvictRange for that).
+func (s *System) FlushRange(clk *sim.Clock, addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
+		_, dirty := s.LLC.Flush(a)
+		lat := float64(flushLine)
+		if dirty {
+			lat += writebackLine
+		}
+		clk.AdvanceF(lat)
+	}
+}
+
+// MFence charges a store fence.
+func (s *System) MFence(clk *sim.Clock) { clk.AdvanceF(MFenceCost) }
+
+// EvictRange silently removes [addr, addr+size) from the cache without
+// charging anyone — the harness uses it to set up cache state between
+// measurements, mirroring how the paper flushes buffers "prior to every
+// single measurement" outside the timed region.
+func (s *System) EvictRange(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
+		s.LLC.Flush(a)
+	}
+}
+
+// EvictAll empties the whole LLC without charging cycles (the cold-cache
+// experiments of Figure 2 flush the entire 8 MB LLC before each run,
+// outside the timed region).
+func (s *System) EvictAll() { s.LLC.FlushAll() }

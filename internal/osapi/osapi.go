@@ -1,0 +1,380 @@
+// Package osapi is the untrusted operating-system substrate the
+// applications' out-calls land on: an in-memory kernel with sockets, a
+// virtual file system, readiness polling, time, and the transfer costs of
+// moving data across the user/kernel boundary.
+//
+// Every system call charges the 150-cycle user/kernel transition the paper
+// uses as its baseline ("[45] estimates a transfer to the OS and back in
+// 150 cycles") — which is exactly what makes an 8,300-cycle ocall a
+// 54-113x degradation.
+package osapi
+
+import (
+	"errors"
+	"fmt"
+
+	"hotcalls/internal/mem"
+	"hotcalls/internal/sim"
+)
+
+// SyscallCost is the user/kernel round trip (FlexSC, cited as [45]).
+const SyscallCost = 150
+
+// HypercallCost is the KVM hypercall baseline the paper quotes for
+// comparison (Dall et al., cited as [15]).
+const HypercallCost = 1300
+
+// Kernel address-space landmarks: socket and page-cache buffers live in
+// plaintext kernel memory.
+const (
+	kernBufBase = mem.PlainBase + 0x8000_0000
+	kernBufSpan = 1 << 30
+)
+
+// Errors returned by the kernel.
+var (
+	ErrBadFD       = errors.New("osapi: bad file descriptor")
+	ErrWouldBlock  = errors.New("osapi: operation would block")
+	ErrNotListener = errors.New("osapi: not a listening socket")
+	ErrNoSuchFile  = errors.New("osapi: no such file")
+)
+
+type packet struct {
+	data []byte
+	addr uint64 // kernel buffer address backing this packet
+}
+
+type socket struct {
+	fd       int
+	rx       []packet // packets waiting to be received
+	accepted []int    // pending connections on a listener
+	listener bool
+	peer     int // fd of the connected peer, -1 if none
+	sent     uint64
+}
+
+type file struct {
+	name string
+	data []byte
+	addr uint64 // page-cache address
+	pos  int
+}
+
+// Kernel is the simulated operating system for one machine.  It is not
+// safe for concurrent use; application simulations are single-threaded.
+type Kernel struct {
+	Mem *mem.System
+
+	sockets map[int]*socket
+	files   map[int]*file
+	fs      map[string][]byte
+	fsAddr  map[string]uint64
+	nextFD  int
+	bufNext uint64
+	pid     int
+
+	// TX is the total payload bytes accepted by Send/Sendto/Writev —
+	// the iperf-style throughput counter.
+	TX uint64
+
+	syscalls map[string]uint64
+}
+
+// NewKernel returns a kernel over the given memory system.
+func NewKernel(m *mem.System) *Kernel {
+	return &Kernel{
+		Mem:      m,
+		sockets:  make(map[int]*socket),
+		files:    make(map[int]*file),
+		fs:       make(map[string][]byte),
+		fsAddr:   make(map[string]uint64),
+		nextFD:   3,
+		bufNext:  kernBufBase,
+		pid:      4242,
+		syscalls: make(map[string]uint64),
+	}
+}
+
+// Syscalls returns the per-name system-call counts.
+func (k *Kernel) Syscalls() map[string]uint64 {
+	out := make(map[string]uint64, len(k.syscalls))
+	for n, c := range k.syscalls {
+		out[n] = c
+	}
+	return out
+}
+
+func (k *Kernel) enter(clk *sim.Clock, name string) {
+	k.syscalls[name]++
+	clk.Advance(SyscallCost)
+}
+
+func (k *Kernel) kalloc(size uint64) uint64 {
+	addr := k.bufNext
+	k.bufNext += (size + 63) / 64 * 64
+	if k.bufNext > kernBufBase+kernBufSpan {
+		k.bufNext = kernBufBase // ring around: kernel buffers recycle
+		addr = k.bufNext
+		k.bufNext += (size + 63) / 64 * 64
+	}
+	return addr
+}
+
+// --- Sockets ---
+
+// Socket creates a datagram/stream socket.
+func (k *Kernel) Socket(clk *sim.Clock) int {
+	k.enter(clk, "socket")
+	return k.newSocket()
+}
+
+func (k *Kernel) newSocket() int {
+	fd := k.nextFD
+	k.nextFD++
+	k.sockets[fd] = &socket{fd: fd, peer: -1}
+	return fd
+}
+
+// Listen marks a socket as accepting connections.
+func (k *Kernel) Listen(clk *sim.Clock, fd int) error {
+	k.enter(clk, "listen")
+	s, ok := k.sockets[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	s.listener = true
+	return nil
+}
+
+// InjectConnection queues a new client connection on a listener and
+// returns the client-side fd.  Workload generators use this without cost —
+// the client runs on other cores.
+func (k *Kernel) InjectConnection(listenFD int) (clientFD int, err error) {
+	l, ok := k.sockets[listenFD]
+	if !ok || !l.listener {
+		return 0, ErrNotListener
+	}
+	server := k.newSocket()
+	client := k.newSocket()
+	k.sockets[server].peer = client
+	k.sockets[client].peer = server
+	l.accepted = append(l.accepted, server)
+	return client, nil
+}
+
+// Accept pops a pending connection off a listener.
+func (k *Kernel) Accept(clk *sim.Clock, fd int) (int, error) {
+	k.enter(clk, "accept")
+	l, ok := k.sockets[fd]
+	if !ok || !l.listener {
+		return 0, ErrNotListener
+	}
+	if len(l.accepted) == 0 {
+		return 0, ErrWouldBlock
+	}
+	conn := l.accepted[0]
+	l.accepted = l.accepted[1:]
+	return conn, nil
+}
+
+// Inject queues payload bytes for reception on fd, as if a remote peer
+// had sent them.  Generators use this without cost.
+func (k *Kernel) Inject(fd int, data []byte) error {
+	s, ok := k.sockets[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	cp := append([]byte(nil), data...)
+	s.rx = append(s.rx, packet{data: cp, addr: k.kalloc(uint64(len(cp)))})
+	return nil
+}
+
+// Readable reports whether fd has queued data, without a syscall.
+func (k *Kernel) Readable(fd int) bool {
+	s, ok := k.sockets[fd]
+	return ok && len(s.rx) > 0
+}
+
+// Recv copies one queued packet into the user buffer at userAddr and
+// charges the kernel-to-user copy.  It returns the byte count.
+func (k *Kernel) Recv(clk *sim.Clock, name string, fd int, userAddr uint64, userBuf []byte) (int, error) {
+	k.enter(clk, name)
+	s, ok := k.sockets[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	if len(s.rx) == 0 {
+		return 0, ErrWouldBlock
+	}
+	pkt := s.rx[0]
+	s.rx = s.rx[1:]
+	n := copy(userBuf, pkt.data)
+	k.Mem.Copy(clk, userAddr, pkt.addr, uint64(n))
+	return n, nil
+}
+
+// Send copies user bytes into a kernel buffer and delivers them to the
+// peer socket (or counts them as transmitted when the peer is remote).
+func (k *Kernel) Send(clk *sim.Clock, name string, fd int, userAddr uint64, data []byte) (int, error) {
+	k.enter(clk, name)
+	s, ok := k.sockets[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	kaddr := k.kalloc(uint64(len(data)))
+	k.Mem.Copy(clk, kaddr, userAddr, uint64(len(data)))
+	k.TX += uint64(len(data))
+	s.sent += uint64(len(data))
+	if peer, ok := k.sockets[s.peer]; ok {
+		peer.rx = append(peer.rx, packet{data: append([]byte(nil), data...), addr: kaddr})
+	}
+	return len(data), nil
+}
+
+// Sent returns the number of bytes transmitted through fd.
+func (k *Kernel) Sent(fd int) uint64 {
+	if s, ok := k.sockets[fd]; ok {
+		return s.sent
+	}
+	return 0
+}
+
+// TakeRX pops one packet destined to fd without cost — the generator side
+// consuming server responses.
+func (k *Kernel) TakeRX(fd int) ([]byte, bool) {
+	s, ok := k.sockets[fd]
+	if !ok || len(s.rx) == 0 {
+		return nil, false
+	}
+	pkt := s.rx[0]
+	s.rx = s.rx[1:]
+	return pkt.data, true
+}
+
+// Close releases a descriptor.
+func (k *Kernel) Close(clk *sim.Clock, fd int) error {
+	k.enter(clk, "close")
+	if _, ok := k.sockets[fd]; ok {
+		delete(k.sockets, fd)
+		return nil
+	}
+	if _, ok := k.files[fd]; ok {
+		delete(k.files, fd)
+		return nil
+	}
+	return ErrBadFD
+}
+
+// Shutdown half-closes a socket.
+func (k *Kernel) Shutdown(clk *sim.Clock, fd int) error {
+	k.enter(clk, "shutdown")
+	if _, ok := k.sockets[fd]; !ok {
+		return ErrBadFD
+	}
+	return nil
+}
+
+// --- Cheap metadata syscalls: cost only ---
+
+// Poll checks readiness of a set of descriptors.
+func (k *Kernel) Poll(clk *sim.Clock, fds ...int) int {
+	k.enter(clk, "poll")
+	ready := 0
+	for _, fd := range fds {
+		if k.Readable(fd) {
+			ready++
+		}
+	}
+	return ready
+}
+
+// EpollCtl registers interest; the model only charges the transition.
+func (k *Kernel) EpollCtl(clk *sim.Clock) { k.enter(clk, "epoll_ctl") }
+
+// Fcntl manipulates descriptor flags.
+func (k *Kernel) Fcntl(clk *sim.Clock) { k.enter(clk, "fcntl") }
+
+// Setsockopt sets socket options.
+func (k *Kernel) Setsockopt(clk *sim.Clock) { k.enter(clk, "setsockopt") }
+
+// Ioctl performs a device control call.
+func (k *Kernel) Ioctl(clk *sim.Clock) { k.enter(clk, "ioctl") }
+
+// Time returns wall-clock seconds derived from the calling core's cycles.
+func (k *Kernel) Time(clk *sim.Clock) uint64 {
+	k.enter(clk, "time")
+	return uint64(sim.Seconds(clk.Now()))
+}
+
+// GetPID returns the process ID (OpenSSL calls this on every cryptographic
+// context operation, which is why it shows up so high in Table 2).
+func (k *Kernel) GetPID(clk *sim.Clock) int {
+	k.enter(clk, "getpid")
+	return k.pid
+}
+
+// --- Files ---
+
+// WriteFS installs a file into the in-memory file system (no cost: setup).
+func (k *Kernel) WriteFS(name string, data []byte) {
+	k.fs[name] = append([]byte(nil), data...)
+	k.fsAddr[name] = k.kalloc(uint64(len(data)))
+}
+
+// Open opens a file.
+func (k *Kernel) Open(clk *sim.Clock, name string) (int, error) {
+	k.enter(clk, "open64")
+	data, ok := k.fs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchFile, name)
+	}
+	fd := k.nextFD
+	k.nextFD++
+	k.files[fd] = &file{name: name, data: data, addr: k.fsAddr[name]}
+	return fd, nil
+}
+
+// Fstat returns a file's size.
+func (k *Kernel) Fstat(clk *sim.Clock, fd int) (int, error) {
+	k.enter(clk, "fxstat64")
+	f, ok := k.files[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	return len(f.data), nil
+}
+
+// ReadFile copies file bytes into the user buffer.
+func (k *Kernel) ReadFile(clk *sim.Clock, fd int, userAddr uint64, userBuf []byte) (int, error) {
+	k.enter(clk, "read")
+	f, ok := k.files[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	n := copy(userBuf, f.data[f.pos:])
+	k.Mem.Copy(clk, userAddr, f.addr+uint64(f.pos), uint64(n))
+	f.pos += n
+	return n, nil
+}
+
+// Sendfile streams a whole file to a socket inside the kernel: no
+// user-space copy, which is why lighttpd uses it for page bodies.
+func (k *Kernel) Sendfile(clk *sim.Clock, outFD, inFD int) (int, error) {
+	k.enter(clk, "sendfile64")
+	f, ok := k.files[inFD]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	s, ok := k.sockets[outFD]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	// Kernel-side page-cache to socket-buffer move.
+	k.Mem.StreamRead(clk, f.addr, uint64(len(f.data)))
+	k.TX += uint64(len(f.data))
+	s.sent += uint64(len(f.data))
+	if peer, ok := k.sockets[s.peer]; ok {
+		peer.rx = append(peer.rx, packet{data: append([]byte(nil), f.data...), addr: f.addr})
+	}
+	return len(f.data), nil
+}

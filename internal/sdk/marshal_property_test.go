@@ -1,0 +1,219 @@
+package sdk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hotcalls/internal/sim"
+)
+
+// Property tests for the marshalling semantics of every pointer direction,
+// in both call directions, across sizes — the invariants edger8r's
+// generated code must uphold.
+
+func TestECallMarshallingProperties(t *testing.T) {
+	f := newFixture(t)
+	fill := func(b []byte, seed byte) {
+		for i := range b {
+			b[i] = seed + byte(i*7)
+		}
+	}
+
+	t.Run("in: handler sees exactly the caller bytes", func(t *testing.T) {
+		var seen []byte
+		f.rt.MustBindECall("ecall_in", func(ctx *Ctx, args []Arg) uint64 {
+			seen = append(seen[:0], args[0].Buf.Data...)
+			return 0
+		})
+		prop := func(seed byte, sz uint16) bool {
+			size := uint64(sz%4096) + 1
+			var clk sim.Clock
+			buf := f.rt.Arena.AllocBuffer(&clk, size)
+			fill(buf.Data, seed)
+			want := append([]byte(nil), buf.Data...)
+			if _, err := f.rt.ECall(&clk, "ecall_in", Buf(buf), Scalar(size)); err != nil {
+				return false
+			}
+			return bytes.Equal(seen, want) && bytes.Equal(buf.Data, want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("out: handler sees zeroes, caller sees handler writes", func(t *testing.T) {
+		var sawZeroes bool
+		f.rt.MustBindECall("ecall_out", func(ctx *Ctx, args []Arg) uint64 {
+			sawZeroes = true
+			for _, b := range args[0].Buf.Data {
+				if b != 0 {
+					sawZeroes = false
+					break
+				}
+			}
+			for i := range args[0].Buf.Data {
+				args[0].Buf.Data[i] = byte(i) ^ 0x3c
+			}
+			return 0
+		})
+		prop := func(seed byte, sz uint16) bool {
+			size := uint64(sz%4096) + 1
+			var clk sim.Clock
+			buf := f.rt.Arena.AllocBuffer(&clk, size)
+			fill(buf.Data, seed) // stale caller data must be overwritten
+			if _, err := f.rt.ECall(&clk, "ecall_out", Buf(buf), Scalar(size)); err != nil {
+				return false
+			}
+			if !sawZeroes {
+				return false
+			}
+			for i, b := range buf.Data {
+				if b != byte(i)^0x3c {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("inout: transform round-trips", func(t *testing.T) {
+		f.rt.MustBindECall("ecall_inout", func(ctx *Ctx, args []Arg) uint64 {
+			for i := range args[0].Buf.Data {
+				args[0].Buf.Data[i] = ^args[0].Buf.Data[i]
+			}
+			return 0
+		})
+		prop := func(seed byte, sz uint16) bool {
+			size := uint64(sz%4096) + 1
+			var clk sim.Clock
+			buf := f.rt.Arena.AllocBuffer(&clk, size)
+			fill(buf.Data, seed)
+			want := make([]byte, size)
+			for i := range want {
+				want[i] = ^buf.Data[i]
+			}
+			if _, err := f.rt.ECall(&clk, "ecall_inout", Buf(buf), Scalar(size)); err != nil {
+				return false
+			}
+			return bytes.Equal(buf.Data, want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestOCallMarshallingProperties(t *testing.T) {
+	f := newFixture(t)
+
+	t.Run("out: landing writes reach the enclave buffer", func(t *testing.T) {
+		f.rt.MustBindOCall("ocall_out", func(ctx *Ctx, args []Arg) uint64 {
+			for i := range args[0].Buf.Data {
+				args[0].Buf.Data[i] = byte(i) * 5
+			}
+			return 0
+		})
+		prop := func(sz uint16) bool {
+			size := uint64(sz%2048) + 1
+			dst := f.enclaveBuf(t, int(size))
+			var outerErr error
+			f.rt.MustBindECall("ecall_empty", func(ctx *Ctx, args []Arg) uint64 {
+				_, outerErr = ctx.OCall("ocall_out", Buf(dst), Scalar(size))
+				return 0
+			})
+			var clk sim.Clock
+			if _, err := f.rt.ECall(&clk, "ecall_empty"); err != nil || outerErr != nil {
+				return false
+			}
+			for i, b := range dst.Data {
+				if b != byte(i)*5 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Error(err)
+		}
+	})
+
+	t.Run("in: landing sees exactly the enclave bytes", func(t *testing.T) {
+		var seen []byte
+		f.rt.MustBindOCall("ocall_in", func(ctx *Ctx, args []Arg) uint64 {
+			seen = append(seen[:0], args[0].Buf.Data...)
+			return 0
+		})
+		prop := func(seed byte, sz uint16) bool {
+			size := uint64(sz%2048) + 1
+			src := f.enclaveBuf(t, int(size))
+			for i := range src.Data {
+				src.Data[i] = seed ^ byte(i)
+			}
+			want := append([]byte(nil), src.Data...)
+			f.rt.MustBindECall("ecall_empty", func(ctx *Ctx, args []Arg) uint64 {
+				ctx.OCall("ocall_in", Buf(src), Scalar(size))
+				return 0
+			})
+			var clk sim.Clock
+			if _, err := f.rt.ECall(&clk, "ecall_empty"); err != nil {
+				return false
+			}
+			return bytes.Equal(seen, want)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestOptimizedMemopsPreservesSemantics: the Section 3.5 optimizations
+// must change only the cycle cost, never the data path.
+func TestOptimizedMemopsPreservesSemantics(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		f := newFixture(t)
+		f.rt.OptimizedMemops = optimized
+		var clk sim.Clock
+		buf := f.rt.Arena.AllocBuffer(&clk, 512)
+		for i := range buf.Data {
+			buf.Data[i] = 0xee
+		}
+		if _, err := f.rt.ECall(&clk, "ecall_out", Buf(buf), Scalar(512)); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range buf.Data {
+			if b != byte(i) {
+				t.Fatalf("optimized=%v: buf[%d] = %#x", optimized, i, b)
+			}
+		}
+	}
+}
+
+// TestOptimizedMemopsCheaper: and it must actually be cheaper.
+func TestOptimizedMemopsCheaper(t *testing.T) {
+	cost := func(optimized bool) uint64 {
+		f := newFixture(t)
+		f.rt.OptimizedMemops = optimized
+		var clk sim.Clock
+		buf := f.rt.Arena.AllocBuffer(&clk, 4096)
+		var warm sim.Clock
+		for i := 0; i < 10; i++ {
+			f.rt.ECall(&warm, "ecall_out", Buf(buf), Scalar(4096))
+		}
+		var c sim.Clock
+		if _, err := f.rt.ECall(&c, "ecall_out", Buf(buf), Scalar(4096)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now()
+	}
+	slow, fast := cost(false), cost(true)
+	if fast >= slow {
+		t.Fatalf("optimized memops not cheaper: %d vs %d", fast, slow)
+	}
+	if saving := slow - fast; saving < 3000 {
+		t.Errorf("4 KB out saving = %d cycles, want ~3,600 (byte-wise memset removal)", saving)
+	}
+}

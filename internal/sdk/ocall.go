@@ -1,0 +1,89 @@
+package sdk
+
+import (
+	"fmt"
+
+	"hotcalls/internal/edl"
+	"hotcalls/internal/mem"
+)
+
+// Software fixed costs of the ocall path, in cycles, calibrated so an
+// empty warm-cache ocall lands on the paper's 8,314-cycle median (Table 1
+// row 4); see TestOcallWarmMedian.
+const (
+	ocallMarshalFixed  = 952 // trusted-side marshalling and pointer checks
+	ocallDispatchFixed = 736 // untrusted dispatcher: table lookup, frame setup
+	ocallReturnFixed   = 790 // trusted-side return handling after ERESUME
+	osCodeLines        = 6   // libc/OS entry code touched by the landing fn
+)
+
+// ocallGlue mirrors ecallGlue for the ocall wrapper, calibrated on Table 1
+// row 6 (9,252 / 11,418 / 9,801 cycles for to / from / to&from at 2 KB).
+var ocallGlue = map[edl.Direction]float64{
+	edl.In:    536,
+	edl.Out:   590,
+	edl.InOut: 701,
+}
+
+// OCall invokes a declared untrusted function from inside a trusted
+// handler: trusted marshalling, EEXIT, the untrusted landing function,
+// ERESUME, and the copy-back of output buffers into the enclave.
+func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
+	if ctx.Router != nil {
+		// A HotCalls-resident enclave thread: no EEXIT, the request
+		// goes through the shared-memory channel.
+		return ctx.Router.RouteOCall(ctx.Clk, name, args...)
+	}
+	rt, clk := ctx.RT, ctx.Clk
+	b := rt.ocalls[name]
+	if b == nil {
+		if rt.EDL.UntrustedFunc(name) == nil {
+			return 0, fmt.Errorf("%w: %s", ErrUnknownFunction, name)
+		}
+		return 0, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	if ctx.TCS == nil || !ctx.TCS.Entered() {
+		return 0, ErrOCallOutsideCall
+	}
+	if err := checkArgs(b.decl, args); err != nil {
+		return 0, err
+	}
+	rt.counters[name]++
+
+	m := rt.Platform.Mem
+
+	// --- Trusted side: build the ocall frame on the untrusted stack and
+	// apply pointer attributes.  Remember: for ocalls, [in] means "into
+	// the ocall" (out of the enclave) and [out] means "out of the ocall"
+	// (back into the enclave) — Section 3.3.
+	clk.Advance(ocallMarshalFixed)
+
+	outer, finish, err := rt.StageOCallArgs(clk, b.decl, args)
+	if err != nil {
+		return 0, err
+	}
+
+	if err := rt.Enclave.EExit(clk, ctx.TCS); err != nil {
+		return 0, err
+	}
+
+	// --- Untrusted dispatcher: look up the landing function and run it.
+	clk.Advance(ocallDispatchFixed)
+	m.Load(clk, ocallTableAddr)
+	for i := 0; i < osCodeLines; i++ {
+		m.Load(clk, osCodeAddr+uint64(i)*mem.LineSize)
+	}
+	rt.ocallStack = append(rt.ocallStack, name)
+	ret := b.fn(&Ctx{Clk: clk, RT: rt}, outer)
+	rt.ocallStack = rt.ocallStack[:len(rt.ocallStack)-1]
+
+	if err := rt.Enclave.EResume(clk, ctx.TCS); err != nil {
+		return 0, err
+	}
+
+	// --- Back inside: copy output buffers into the enclave and unwind
+	// the insecure stack.
+	clk.Advance(ocallReturnFixed)
+	finish()
+	return ret, nil
+}

@@ -1,0 +1,205 @@
+package sdk
+
+import (
+	"fmt"
+
+	"hotcalls/internal/edl"
+	"hotcalls/internal/sim"
+)
+
+// This file holds the marshalling core shared by the SDK call paths and by
+// HotCalls, plus the memset/memcpy selection controlled by the runtime's
+// OptimizedMemops option.  The paper's security argument (Section 5) rests on HotCalls
+// using *the same* edger8r-generated marshalling code as the SDK's ecalls
+// and ocalls; in this implementation that is literally true — internal/core
+// calls StageOCallArgs / StageECallArgs.
+
+// zero applies the configured memset to a staging buffer.
+func (rt *Runtime) zero(clk *sim.Clock, addr, size uint64) {
+	if rt.OptimizedMemops {
+		rt.Platform.Mem.MemsetFast(clk, addr, size)
+	} else {
+		rt.Platform.Mem.MemsetByteWise(clk, addr, size)
+	}
+}
+
+// stage applies the configured memcpy to a staging copy.
+func (rt *Runtime) stageCopy(clk *sim.Clock, dst, src, size uint64) {
+	if rt.OptimizedMemops {
+		rt.Platform.Mem.CopyAVX(clk, dst, src, size)
+	} else {
+		rt.Platform.Mem.Copy(clk, dst, src, size)
+	}
+}
+
+type stagedParam struct {
+	param   *edl.Param
+	origin  *Buffer // the caller-side buffer (plain for ecalls, enclave for ocalls)
+	staging *Buffer
+	size    uint64
+}
+
+// StageOCallArgs performs the trusted-side marshalling of an ocall's
+// arguments: pointer checks, staging on the untrusted stack, [in] copies
+// and [out] zeroing (skipped under No-Redundant-Zeroing).  It returns the
+// argument list for the untrusted landing function and a finish closure
+// that copies outputs back into the enclave and unwinds the stack frame.
+// On error nothing is leaked: the frame is restored.
+func (rt *Runtime) StageOCallArgs(clk *sim.Clock, decl *edl.Func, args []Arg) ([]Arg, func(), error) {
+	if err := checkArgs(decl, args); err != nil {
+		return nil, nil, err
+	}
+	m := rt.Platform.Mem
+	frame := rt.stackFrame()
+	m.Store(clk, rt.stackTop) // frame header line
+
+	outer := make([]Arg, len(args))
+	var stagings []stagedParam
+	for i := range args {
+		p := &decl.Params[i]
+		if !p.Pointer || args[i].Buf == nil || p.Direction == edl.UserCheck {
+			outer[i] = args[i]
+			continue
+		}
+		src := args[i].Buf
+		size, err := resolveSize(decl, p, args, src)
+		if err != nil {
+			rt.stackRestore(frame)
+			return nil, nil, err
+		}
+		// The enclave-side pointer must lie entirely inside the
+		// enclave, or copying could exfiltrate via a crafted pointer.
+		clk.Advance(bufferCheckCost)
+		if !rt.Enclave.InRange(src.Addr, size) {
+			rt.stackRestore(frame)
+			return nil, nil, fmt.Errorf("%w: %s.%s", ErrInsecurePointer, decl.Name, p.Name)
+		}
+		clk.AdvanceF(ocallGlue[p.Direction])
+		st := &Buffer{Addr: rt.stackAlloc(clk, size), Data: make([]byte, size)}
+		switch p.Direction {
+		case edl.In:
+			rt.stageCopy(clk, st.Addr, src.Addr, size)
+			copy(st.Data, src.Data[:size])
+		case edl.Out:
+			// The SDK zeroes the untrusted staging buffer with its
+			// byte-wise memset.  The paper observes this has no
+			// security benefit — untrusted code can read that
+			// memory anyway — and removing it is the
+			// No-Redundant-Zeroing optimization of Section 6.
+			if !rt.NoRedundantZeroing {
+				rt.zero(clk, st.Addr, size)
+			}
+		case edl.InOut:
+			rt.stageCopy(clk, st.Addr, src.Addr, size)
+			copy(st.Data, src.Data[:size])
+		}
+		stagings = append(stagings, stagedParam{param: p, origin: src, staging: st, size: size})
+		outer[i] = Buf(st)
+	}
+	finish := func() {
+		for _, s := range stagings {
+			if s.param.Direction == edl.Out || s.param.Direction == edl.InOut {
+				rt.stageCopy(clk, s.origin.Addr, s.staging.Addr, s.size)
+				copy(s.origin.Data[:s.size], s.staging.Data)
+			}
+		}
+		rt.stackRestore(frame)
+	}
+	return outer, finish, nil
+}
+
+// StageECallArgs performs the trusted-side marshalling of an ecall's
+// arguments after entry: pointer checks against the enclave boundary,
+// staging allocation on the secure heap, [in] copies and [out] zeroing.
+// The finish closure copies outputs back to the caller's buffers and frees
+// the staging memory.
+func (rt *Runtime) StageECallArgs(clk *sim.Clock, decl *edl.Func, args []Arg) ([]Arg, func(), error) {
+	if err := checkArgs(decl, args); err != nil {
+		return nil, nil, err
+	}
+	inner := make([]Arg, len(args))
+	var stagings []stagedParam
+	unwind := func() {
+		for _, s := range stagings {
+			rt.Enclave.Free(clk, s.staging.Addr, s.size)
+		}
+	}
+	for i := range args {
+		p := &decl.Params[i]
+		if !p.Pointer || args[i].Buf == nil || p.Direction == edl.UserCheck {
+			inner[i] = args[i]
+			continue
+		}
+		caller := args[i].Buf
+		size, err := resolveSize(decl, p, args, caller)
+		if err != nil {
+			unwind()
+			return nil, nil, err
+		}
+		// The caller's buffer must lie entirely outside the enclave,
+		// or the copy could leak or clobber enclave memory.
+		clk.Advance(bufferCheckCost)
+		if !rt.Enclave.OutsideRange(caller.Addr, size) {
+			unwind()
+			return nil, nil, fmt.Errorf("%w: %s.%s", ErrInsecurePointer, decl.Name, p.Name)
+		}
+		clk.AdvanceF(ecallGlue[p.Direction])
+		addr, err := rt.Enclave.Alloc(clk, size)
+		if err != nil {
+			unwind()
+			return nil, nil, err
+		}
+		st := &Buffer{Addr: addr, Data: make([]byte, size)}
+		switch p.Direction {
+		case edl.In, edl.InOut:
+			rt.stageCopy(clk, st.Addr, caller.Addr, size)
+			copy(st.Data, caller.Data[:size])
+		case edl.Out:
+			// Zero the enclave staging buffer so uninitialized
+			// secure-heap bytes cannot leak back out.  This zeroing
+			// is a real security measure (unlike the ocall-side
+			// one) and is kept even under No-Redundant-Zeroing.
+			rt.zero(clk, st.Addr, size)
+		}
+		stagings = append(stagings, stagedParam{param: p, origin: caller, staging: st, size: size})
+		inner[i] = Buf(st)
+	}
+	finish := func() {
+		for _, s := range stagings {
+			if s.param.Direction == edl.Out || s.param.Direction == edl.InOut {
+				rt.stageCopy(clk, s.origin.Addr, s.staging.Addr, s.size)
+				copy(s.origin.Data[:s.size], s.staging.Data)
+			}
+			rt.Enclave.Free(clk, s.staging.Addr, s.size)
+		}
+	}
+	return inner, finish, nil
+}
+
+// TrustedBinding returns the declaration and bound handler of an ecall.
+func (rt *Runtime) TrustedBinding(name string) (*edl.Func, Handler, error) {
+	b := rt.ecalls[name]
+	if b == nil {
+		if rt.EDL.TrustedFunc(name) == nil {
+			return nil, nil, fmt.Errorf("%w: %s", ErrUnknownFunction, name)
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return b.decl, b.fn, nil
+}
+
+// UntrustedBinding returns the declaration and bound handler of an ocall.
+func (rt *Runtime) UntrustedBinding(name string) (*edl.Func, Handler, error) {
+	b := rt.ocalls[name]
+	if b == nil {
+		if rt.EDL.UntrustedFunc(name) == nil {
+			return nil, nil, fmt.Errorf("%w: %s", ErrUnknownFunction, name)
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return b.decl, b.fn, nil
+}
+
+// CountCall increments the instrumentation counter for an edge call made
+// outside the SDK paths (HotCalls route through here so Table 2 sees them).
+func (rt *Runtime) CountCall(name string) { rt.counters[name]++ }

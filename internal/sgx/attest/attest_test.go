@@ -1,0 +1,250 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hotcalls/internal/sgx"
+	"hotcalls/internal/sim"
+)
+
+func buildEnclave(t *testing.T, p *sgx.Platform, firstByte byte) *sgx.Enclave {
+	t.Helper()
+	var clk sim.Clock
+	e := p.ECreate(&clk, 1<<20, 1, sgx.Attributes{ProdID: 3, SVN: 2})
+	content := make([]byte, sgx.PageSize)
+	content[0] = firstByte
+	if err := e.EAdd(&clk, 0, content); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(&clk); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLocalAttestation(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	src := buildEnclave(t, p, 1)
+	dst := buildEnclave(t, p, 2)
+	var data ReportData
+	copy(data[:], "key-exchange-binding")
+	r := EReport(p, src, dst.MRENCLAVE(), data)
+	if err := VerifyReport(p, dst, r); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	if r.Measurement != src.MRENCLAVE() {
+		t.Fatal("report carries wrong identity")
+	}
+}
+
+func TestLocalAttestationWrongTarget(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	src := buildEnclave(t, p, 1)
+	dst := buildEnclave(t, p, 2)
+	other := buildEnclave(t, p, 3)
+	r := EReport(p, src, dst.MRENCLAVE(), ReportData{})
+	if err := VerifyReport(p, other, r); !errors.Is(err, ErrBadReportMAC) {
+		t.Fatalf("report for dst verified by other: %v", err)
+	}
+}
+
+func TestLocalAttestationTamperedReport(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	src := buildEnclave(t, p, 1)
+	dst := buildEnclave(t, p, 2)
+	r := EReport(p, src, dst.MRENCLAVE(), ReportData{})
+	r.Data[0] ^= 1
+	if err := VerifyReport(p, dst, r); !errors.Is(err, ErrBadReportMAC) {
+		t.Fatalf("tampered report verified: %v", err)
+	}
+}
+
+func TestRemoteAttestation(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	svc := NewService()
+	qe, err := svc.Provision(p, "platform-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := EReport(p, e, sgx.Measurement{}, ReportData{})
+	q, err := qe.Quote(r)
+	if err != nil {
+		t.Fatalf("quoting failed: %v", err)
+	}
+	if err := svc.Verify(q); err != nil {
+		t.Fatalf("remote verification failed: %v", err)
+	}
+}
+
+func TestQuoteRejectsForgedReport(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	svc := NewService()
+	qe, _ := svc.Provision(p, "platform-A")
+	r := EReport(p, e, sgx.Measurement{}, ReportData{})
+	r.Measurement[0] ^= 1 // claim a different identity
+	if _, err := qe.Quote(r); !errors.Is(err, ErrBadReportMAC) {
+		t.Fatalf("QE accepted forged report: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedQuote(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	svc := NewService()
+	qe, _ := svc.Provision(p, "platform-A")
+	q, err := qe.Quote(EReport(p, e, sgx.Measurement{}, ReportData{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Report.Attributes.Debug = true // flip an attribute after signing
+	if err := svc.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("tampered quote verified: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownPlatform(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	svc := NewService()
+	qe, _ := svc.Provision(p, "platform-A")
+	q, err := qe.Quote(EReport(p, e, sgx.Measurement{}, ReportData{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.PlatformID = "rogue"
+	if err := svc.Verify(q); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("err = %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestCrossPlatformReportRejected(t *testing.T) {
+	// A report produced on platform 1 must not verify on platform 2:
+	// the fused secrets differ.
+	p1 := sgx.NewPlatform(1)
+	p2 := sgx.NewPlatform(2)
+	src := buildEnclave(t, p1, 1)
+	dst2 := buildEnclave(t, p2, 2)
+	r := EReport(p1, src, dst2.MRENCLAVE(), ReportData{})
+	if err := VerifyReport(p2, dst2, r); !errors.Is(err, ErrBadReportMAC) {
+		t.Fatalf("cross-platform report verified: %v", err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	secret := []byte("database master key 0123456789ab")
+	blob, err := Seal(p, e, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob.Ciphertext, secret[:16]) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := Unseal(p, e, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("unsealed data differs")
+	}
+}
+
+func TestUnsealWrongEnclave(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e1 := buildEnclave(t, p, 1)
+	e2 := buildEnclave(t, p, 2)
+	blob, err := Seal(p, e1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unseal(p, e2, blob); !errors.Is(err, ErrWrongEnclave) {
+		t.Fatalf("err = %v, want ErrWrongEnclave", err)
+	}
+}
+
+func TestUnsealTampered(t *testing.T) {
+	p := sgx.NewPlatform(1)
+	e := buildEnclave(t, p, 1)
+	blob, err := Seal(p, e, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob.Ciphertext[0] ^= 1
+	if _, err := Unseal(p, e, blob); !errors.Is(err, ErrSealTampered) {
+		t.Fatalf("err = %v, want ErrSealTampered", err)
+	}
+}
+
+func TestUnsealOnDifferentPlatform(t *testing.T) {
+	p1 := sgx.NewPlatform(1)
+	p2 := sgx.NewPlatform(2)
+	e1 := buildEnclave(t, p1, 1)
+	e2 := buildEnclave(t, p2, 1) // same code, same MRENCLAVE
+	if e1.MRENCLAVE() != e2.MRENCLAVE() {
+		t.Fatal("setup: measurements should match")
+	}
+	blob, err := Seal(p1, e1, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same enclave identity, different fused key: must fail.
+	if _, err := Unseal(p2, e2, blob); !errors.Is(err, ErrSealTampered) {
+		t.Fatalf("err = %v, want ErrSealTampered", err)
+	}
+}
+
+func quoteFor(t *testing.T, attr sgx.Attributes) (*Service, *Quote) {
+	t.Helper()
+	p := sgx.NewPlatform(3)
+	var clk sim.Clock
+	e := p.ECreate(&clk, 1<<20, 1, attr)
+	if err := e.EAdd(&clk, 0, make([]byte, sgx.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EInit(&clk); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	qe, err := svc.Provision(p, "plat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qe.Quote(EReport(p, e, sgx.Measurement{}, ReportData{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, q
+}
+
+func TestPolicyRejectsDebugEnclave(t *testing.T) {
+	svc, q := quoteFor(t, sgx.Attributes{Debug: true, SVN: 5})
+	if err := svc.VerifyWithPolicy(q, Policy{MinSVN: 1}); !errors.Is(err, ErrDebugEnclave) {
+		t.Fatalf("err = %v, want ErrDebugEnclave", err)
+	}
+	if err := svc.VerifyWithPolicy(q, Policy{AllowDebug: true, MinSVN: 1}); err != nil {
+		t.Fatalf("debug-allowed policy rejected: %v", err)
+	}
+}
+
+func TestPolicyRejectsStaleSVN(t *testing.T) {
+	svc, q := quoteFor(t, sgx.Attributes{SVN: 2})
+	if err := svc.VerifyWithPolicy(q, Policy{MinSVN: 3}); !errors.Is(err, ErrStaleSVN) {
+		t.Fatalf("err = %v, want ErrStaleSVN", err)
+	}
+	if err := svc.VerifyWithPolicy(q, Policy{MinSVN: 2}); err != nil {
+		t.Fatalf("current SVN rejected: %v", err)
+	}
+}
+
+func TestPolicyStillChecksSignature(t *testing.T) {
+	svc, q := quoteFor(t, sgx.Attributes{SVN: 2})
+	q.Report.Attributes.SVN = 9 // inflate after signing
+	if err := svc.VerifyWithPolicy(q, Policy{MinSVN: 5}); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("err = %v, want ErrBadQuote (signature first)", err)
+	}
+}

@@ -1,0 +1,69 @@
+package attest
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"io"
+
+	"hotcalls/internal/sgx"
+)
+
+// SealedBlob is data sealed to an enclave identity on one platform: only
+// the same enclave (same MRENCLAVE) on the same processor can unseal it.
+type SealedBlob struct {
+	Measurement sgx.Measurement
+	Nonce       [12]byte
+	Ciphertext  []byte
+}
+
+// sealKey derives the enclave's sealing key from the platform's fused seal
+// secret and the enclave measurement — the EGETKEY(SEAL) derivation.
+func sealKey(platformSecret [32]byte, m sgx.Measurement) [32]byte {
+	mac := hmac.New(sha256.New, platformSecret[:])
+	mac.Write([]byte("SEAL-KEY"))
+	mac.Write(m[:])
+	var k [32]byte
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+func sealAEAD(platformSecret [32]byte, m sgx.Measurement) cipher.AEAD {
+	k := sealKey(platformSecret, m)
+	block, err := aes.NewCipher(k[:16])
+	if err != nil {
+		panic(err) // fixed-size key cannot fail
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	return aead
+}
+
+// Seal encrypts data so that only the given enclave on the given platform
+// can recover it across restarts.
+func Seal(p *sgx.Platform, e *sgx.Enclave, data []byte) (*SealedBlob, error) {
+	blob := &SealedBlob{Measurement: e.MRENCLAVE()}
+	if _, err := io.ReadFull(rand.Reader, blob.Nonce[:]); err != nil {
+		return nil, err
+	}
+	aead := sealAEAD(p.SealSecret(), blob.Measurement)
+	blob.Ciphertext = aead.Seal(nil, blob.Nonce[:], data, blob.Measurement[:])
+	return blob, nil
+}
+
+// Unseal recovers sealed data inside the enclave it was sealed to.
+func Unseal(p *sgx.Platform, e *sgx.Enclave, blob *SealedBlob) ([]byte, error) {
+	if blob.Measurement != e.MRENCLAVE() {
+		return nil, ErrWrongEnclave
+	}
+	aead := sealAEAD(p.SealSecret(), blob.Measurement)
+	data, err := aead.Open(nil, blob.Nonce[:], blob.Ciphertext, blob.Measurement[:])
+	if err != nil {
+		return nil, ErrSealTampered
+	}
+	return data, nil
+}

@@ -1,0 +1,68 @@
+package spec
+
+import "testing"
+
+func kernel(t *testing.T, name string) Kernel {
+	t.Helper()
+	for _, k := range Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	t.Fatalf("kernel %s missing", name)
+	return Kernel{}
+}
+
+// Figure 8: mcf runs 55% slower inside the enclave.
+func TestMcfSlowdown(t *testing.T) {
+	r := kernel(t, "mcf").Run(11, 4)
+	t.Logf("mcf slowdown = %.2fx (paper: 1.55x)", r.Slowdown)
+	if r.Slowdown < 1.35 || r.Slowdown > 1.75 {
+		t.Errorf("mcf slowdown = %.2f, want ~1.55", r.Slowdown)
+	}
+	if r.PageFaults > 20000 {
+		t.Errorf("mcf should fit the EPC, got %d faults", r.PageFaults)
+	}
+}
+
+// Figure 8: libquantum runs 5.2x slower — its 96 MB working set exceeds
+// the 93 MB EPC and pages on every sweep.
+func TestLibquantumSlowdown(t *testing.T) {
+	r := kernel(t, "libquantum").Run(13, 3)
+	t.Logf("libquantum slowdown = %.2fx, %d faults (paper: 5.2x)", r.Slowdown, r.PageFaults)
+	if r.Slowdown < 4.2 || r.Slowdown > 6.2 {
+		t.Errorf("libquantum slowdown = %.2f, want ~5.2", r.Slowdown)
+	}
+	if r.PageFaults < 20000 {
+		t.Errorf("libquantum must thrash the EPC, got only %d faults", r.PageFaults)
+	}
+}
+
+// Figure 8: astar shows a modest slowdown (mixed locality).
+func TestAstarSlowdown(t *testing.T) {
+	r := kernel(t, "astar").Run(17, 4)
+	t.Logf("astar slowdown = %.2fx", r.Slowdown)
+	if r.Slowdown < 1.05 || r.Slowdown > 1.55 {
+		t.Errorf("astar slowdown = %.2f, want modest (1.1-1.5)", r.Slowdown)
+	}
+	if r.Slowdown >= kernel(t, "mcf").Run(11, 4).Slowdown {
+		t.Error("astar should suffer less than mcf")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	a := kernel(t, "mcf").Run(7, 2)
+	b := kernel(t, "mcf").Run(7, 2)
+	if a.EnclaveCycles != b.EnclaveCycles || a.PlainCycles != b.PlainCycles {
+		t.Fatal("kernel runs not deterministic under equal seeds")
+	}
+}
+
+func TestEnclaveAlwaysSlower(t *testing.T) {
+	for _, k := range Kernels {
+		r := k.Run(23, 2)
+		if r.Slowdown <= 1.0 {
+			t.Errorf("%s: enclave run faster than plaintext (%.2f)", k.Name, r.Slowdown)
+		}
+	}
+}
