@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test test-race bench-overhead experiments
+
+# check is the CI entrypoint: vet, build, race-test the concurrency-heavy
+# packages, then the full suite.
+check: vet build test-race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The HotCall protocol and the telemetry registry are the two packages
+# with real cross-goroutine traffic; run them under the race detector.
+test-race:
+	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+
+# bench-overhead compares the uninstrumented HotCall path against one
+# with a live registry attached (the <5% disabled-cost budget).
+bench-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkCall' -benchtime 2s -count 5 ./internal/core/
+
+experiments:
+	$(GO) run ./cmd/hotbench -experiments-md EXPERIMENTS.md

@@ -9,6 +9,11 @@
 // Each experiment prints a table comparing measured values against the
 // paper's; -csv additionally writes the raw series (CDFs, sweeps) for
 // plotting.
+//
+// Observability flags:
+//
+//	hotbench -run table1 -metrics          # Prometheus dump after the run
+//	hotbench -run table1 -trace out.json   # Chrome trace_event JSON
 package main
 
 import (
@@ -20,14 +25,30 @@ import (
 	"time"
 
 	"hotcalls/internal/bench"
+	"hotcalls/internal/telemetry"
 )
+
+// traceCapacity bounds the boundary-event ring: enough for a full
+// microbenchmark experiment without unbounded memory.
+const traceCapacity = 1 << 18
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment ID(s) to run, comma-separated, or 'all'")
 	csvDir := flag.String("csv", "", "directory to write raw CSV series into")
 	mdPath := flag.String("experiments-md", "", "run everything and write the EXPERIMENTS.md report to this path")
+	metrics := flag.Bool("metrics", false, "dump all counters and histograms in Prometheus text format after the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of boundary crossings to this path")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *metrics || *tracePath != "" {
+		reg = telemetry.New()
+		if *tracePath != "" {
+			reg.EnableTracing(traceCapacity)
+		}
+		bench.SetTelemetry(reg)
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -77,5 +98,32 @@ func main() {
 				fmt.Printf("wrote %s\n", path)
 			}
 		}
+	}
+
+	if *metrics {
+		fmt.Println("=== metrics (Prometheus text format) ===")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := reg.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		if tr := reg.Tracer(); tr != nil && tr.Dropped() > 0 {
+			fmt.Fprintf(os.Stderr, "hotbench: trace ring overflowed, oldest %d events dropped\n", tr.Dropped())
+		}
+		fmt.Println("wrote", *tracePath)
 	}
 }

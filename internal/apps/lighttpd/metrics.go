@@ -1,0 +1,58 @@
+package lighttpd
+
+import (
+	"net/http"
+
+	"hotcalls/internal/telemetry"
+)
+
+// App-level metric names exported beside the standard boundary set.
+const (
+	MetricRequests     = "lighttpd_requests_total"
+	MetricRequestCycle = "lighttpd_request_cycles"
+	MetricCrossings    = "lighttpd_request_boundary_crossings"
+)
+
+// serverTel caches the server's telemetry handles; all nil (no-op) until
+// EnableTelemetry attaches a registry.
+type serverTel struct {
+	requests  *telemetry.Counter
+	reqCycles *telemetry.Histogram
+	crossings *telemetry.Histogram
+
+	// Cached boundary counters, read before/after each request to
+	// attribute crossings per request (the Table 2 instrumentation,
+	// live instead of post-hoc).
+	ecalls, ocalls, hotEcalls, hotOcalls *telemetry.Counter
+}
+
+// boundaryCount sums every boundary-crossing counter the server's stack
+// can increment.  Zero when telemetry is detached (nil handles load 0).
+func (t *serverTel) boundaryCount() uint64 {
+	return t.ecalls.Load() + t.ocalls.Load() + t.hotEcalls.Load() + t.hotOcalls.Load()
+}
+
+// EnableTelemetry attaches the observability registry to the whole server
+// stack (platform, SDK runtime, HotCalls channel) and registers the
+// per-request metrics: request count, request cycle latency, and the
+// boundary-crossings-per-request histogram.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	telemetry.RegisterStandard(reg)
+	s.App.SetTelemetry(reg)
+	s.tel = serverTel{
+		requests:  reg.Counter(MetricRequests),
+		reqCycles: reg.Histogram(MetricRequestCycle),
+		crossings: reg.Histogram(MetricCrossings),
+		ecalls:    reg.Counter(telemetry.MetricEcalls),
+		ocalls:    reg.Counter(telemetry.MetricOcalls),
+		hotEcalls: reg.Counter(telemetry.MetricHotECalls),
+		hotOcalls: reg.Counter(telemetry.MetricHotOCalls),
+	}
+}
+
+// MetricsHandler serves the attached registry in Prometheus text format
+// (the /metrics endpoint).  Usable even before EnableTelemetry: a nil
+// registry serves an empty exposition.
+func (s *Server) MetricsHandler() http.Handler {
+	return telemetry.Handler(s.App.Tel)
+}

@@ -82,6 +82,10 @@ type Server struct {
 	readCredit, pairCredit float64
 
 	served uint64
+
+	// tel holds the per-request telemetry handles (see metrics.go); all
+	// nil (no-op) until EnableTelemetry attaches a registry.
+	tel serverTel
 }
 
 // NewServer boots lighttpd in the given mode and installs the document
@@ -324,9 +328,14 @@ func (s *Server) handleConnection(env *porting.Env, args []sdk.Arg) uint64 {
 // ServeOne accepts and serves one queued connection through the configured
 // interface.
 func (s *Server) ServeOne(clk *sim.Clock) {
+	start := clk.Now()
+	crossed := s.tel.boundaryCount()
 	if _, err := s.App.Call(clk, "ecall_handle_connection", sdk.Scalar(0), sdk.Scalar(0)); err != nil {
 		panic(err)
 	}
+	s.tel.requests.Inc()
+	s.tel.reqCycles.ObserveSince(start, clk.Now())
+	s.tel.crossings.Observe(s.tel.boundaryCount() - crossed)
 }
 
 // InjectRequest queues a new client connection carrying a GET request and

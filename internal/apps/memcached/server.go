@@ -61,6 +61,10 @@ type Server struct {
 
 	reqBuf  *sdk.Buffer
 	respBuf *sdk.Buffer
+
+	// tel holds the per-request telemetry handles (see metrics.go); all
+	// nil (no-op) until EnableTelemetry attaches a registry.
+	tel serverTel
 }
 
 // NewServer boots memcached in the given mode: builds the container, binds
@@ -184,9 +188,14 @@ func (s *Server) handleEvent(env *porting.Env, args []sdk.Arg) uint64 {
 // ServeOne processes the next queued request through the configured
 // interface (one RunEnclaveFunction event callback).
 func (s *Server) ServeOne(clk *sim.Clock) {
+	start := clk.Now()
+	crossed := s.tel.boundaryCount()
 	if _, err := s.App.Call(clk, "ecall_run_enclave_function", sdk.Scalar(0), sdk.Scalar(0)); err != nil {
 		panic(err)
 	}
+	s.tel.requests.Inc()
+	s.tel.reqCycles.ObserveSince(start, clk.Now())
+	s.tel.crossings.Observe(s.tel.boundaryCount() - crossed)
 }
 
 // Workload is the memtier-like generator: 1:1 SET:GET over the keyspace

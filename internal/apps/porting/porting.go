@@ -22,6 +22,7 @@ import (
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sgx"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // Mode selects the port configuration.
@@ -102,6 +103,10 @@ type App struct {
 	// Prof, when non-nil, receives the cycle-attribution breakdown
 	// (see profile.go).
 	Prof *Profile
+
+	// Tel is the attached observability registry (nil when telemetry is
+	// off); applications read it back to register their own metrics.
+	Tel *telemetry.Registry
 
 	trusted map[string]func(*Env, []sdk.Arg) uint64
 
@@ -196,6 +201,17 @@ func (a *App) Call(clk *sim.Clock, name string, args ...sdk.Arg) (uint64, error)
 	default:
 		return a.Chan.HotECall(clk, name, args...)
 	}
+}
+
+// SetTelemetry attaches the observability registry to every layer the
+// app owns: the SGX platform (leaf instructions, EPC paging, MEE), the
+// SDK runtime (ecall/ocall paths), and the HotCalls channel.  A nil
+// registry detaches everywhere.
+func (a *App) SetTelemetry(reg *telemetry.Registry) {
+	a.Tel = reg
+	a.Platform.SetTelemetry(reg)
+	a.RT.SetTelemetry(reg)
+	a.Chan.SetTelemetry(reg)
 }
 
 // Secure reports whether the app runs inside an enclave.

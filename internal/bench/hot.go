@@ -6,6 +6,7 @@ import (
 
 	"hotcalls/internal/core"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // runFig3 regenerates Figure 3: the CDF of HotEcall/HotOcall latency.
@@ -15,9 +16,16 @@ func runFig3() *Report {
 	r := &Report{ID: "fig3", Title: "Figure 3: CDF of HotCall latency", CSV: map[string]string{}}
 	rng := sim.NewRNG(131)
 	model := core.NewLatencyModel(rng)
+	// Feed the harness registry so a -metrics dump covers the HotCall
+	// path too (nil-safe handles when telemetry is off).
+	hotEcalls := tel.Counter(telemetry.MetricHotECalls)
+	hotCycles := tel.Histogram(telemetry.MetricHotCallCycles)
 	s := sim.NewSample(sim.TotalRuns)
 	for i := 0; i < sim.TotalRuns; i++ {
-		s.Add(model.Sample())
+		v := model.Sample()
+		s.Add(v)
+		hotEcalls.Inc()
+		hotCycles.Observe(uint64(v))
 	}
 	below620 := s.FractionBelow(620) * 100
 	below1400 := s.FractionBelow(1400) * 100

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hotcalls/internal/telemetry"
+)
+
+// benchCall drives b.N HotCalls against a live responder — the real
+// protocol, not the latency model.
+func benchCall(b *testing.B, hc *HotCall) {
+	hc.Timeout = 1 << 20
+	r := NewResponder(hc, []func(interface{}) uint64{
+		func(d interface{}) uint64 { return d.(uint64) },
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.Run()
+	}()
+	defer func() { hc.Stop(); wg.Wait() }()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hc.Call(0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCall is the uninstrumented baseline: no registry attached, the
+// telemetry handles are nil and every hook is a single predicted branch.
+func BenchmarkCall(b *testing.B) {
+	var hc HotCall
+	benchCall(b, &hc)
+}
+
+// BenchmarkCallInstrumented measures the same path with a live registry
+// attached (counters enabled, tracing off — the -metrics configuration).
+//
+// The disabled-telemetry contract is BenchmarkCall staying within 5% of
+// the pre-telemetry baseline; the instrumented delta over BenchmarkCall
+// is the price of *enabled* counters (three sharded atomic adds per
+// call).  If BenchmarkCall regresses by more than 5% against a build
+// with the hooks removed, the nil-handle fast path has been broken —
+// fix the instrumentation, do not ship the regression.  Measured deltas
+// are recorded in EXPERIMENTS.md.
+func BenchmarkCallInstrumented(b *testing.B) {
+	reg := telemetry.New()
+	var hc HotCall
+	hc.SetTelemetry(reg)
+	benchCall(b, &hc)
+}

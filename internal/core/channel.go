@@ -3,6 +3,7 @@ package core
 import (
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // Channel is the simulated-cycle HotCalls endpoint used by the experiment
@@ -18,11 +19,35 @@ import (
 type Channel struct {
 	RT    *sdk.Runtime
 	Model *LatencyModel
+
+	// tel caches the channel's telemetry handles; all nil (no-op) until
+	// SetTelemetry attaches a registry.
+	tel channelTel
+}
+
+// channelTel is the set of handles the HotCall channel paths touch.
+type channelTel struct {
+	ecalls, ocalls *telemetry.Counter
+	cycles         *telemetry.Histogram
+	tracer         *telemetry.Tracer
 }
 
 // NewChannel returns a HotCalls channel over the given runtime.
 func NewChannel(rt *sdk.Runtime, rng *sim.RNG) *Channel {
 	return &Channel{RT: rt, Model: NewLatencyModel(rng)}
+}
+
+// SetTelemetry attaches the observability registry to the channel:
+// HotCall ecall/ocall counters, the round-trip cycle histogram, and
+// (when tracing is enabled) one span per crossing.  A nil registry
+// detaches.
+func (ch *Channel) SetTelemetry(reg *telemetry.Registry) {
+	ch.tel = channelTel{
+		ecalls: reg.Counter(telemetry.MetricHotECalls),
+		ocalls: reg.Counter(telemetry.MetricHotOCalls),
+		cycles: reg.Histogram(telemetry.MetricHotCallCycles),
+		tracer: reg.Tracer(),
+	}
 }
 
 // HotOCall performs an out-call through the HotCalls interface: the
@@ -35,6 +60,8 @@ func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 		return 0, err
 	}
 	ch.RT.CountCall(name)
+	ch.tel.ocalls.Inc()
+	callStart := clk.Now()
 
 	outer, finish, err := ch.RT.StageOCallArgs(clk, decl, args)
 	if err != nil {
@@ -50,6 +77,10 @@ func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	clk.Advance(handlerClk.Now())
 
 	finish()
+	ch.tel.cycles.ObserveSince(callStart, clk.Now())
+	if tr := ch.tel.tracer; tr != nil {
+		tr.Emit(telemetry.KindHotOCall, "hotocall:"+name, callStart, clk.Since(callStart), 0)
+	}
 	return ret, nil
 }
 
@@ -62,6 +93,8 @@ func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 		return 0, err
 	}
 	ch.RT.CountCall(name)
+	ch.tel.ecalls.Inc()
+	callStart := clk.Now()
 
 	inner, finish, err := ch.RT.StageECallArgs(clk, decl, args)
 	if err != nil {
@@ -75,6 +108,10 @@ func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	clk.Advance(handlerClk.Now())
 
 	finish()
+	ch.tel.cycles.ObserveSince(callStart, clk.Now())
+	if tr := ch.tel.tracer; tr != nil {
+		tr.Emit(telemetry.KindHotECall, "hotecall:"+name, callStart, clk.Since(callStart), 0)
+	}
 	return ret, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"hotcalls/internal/sdk"
+	"hotcalls/internal/telemetry"
 )
 
 // CallID indexes the responder's call table, exactly like the SDK's
@@ -68,6 +69,22 @@ type HotCall struct {
 
 	// Timeout is the submission-attempt limit (DefaultTimeout if zero).
 	Timeout int
+
+	// Telemetry handles, cached at SetTelemetry time so the hot path
+	// pays one nil-check branch per counter and never a registry lookup.
+	// All nil (no-op) when telemetry is disabled — the overhead budget
+	// is proven by BenchmarkCall vs BenchmarkCallInstrumented.
+	requests  *telemetry.Counter
+	timeouts  *telemetry.Counter
+	fallbacks *telemetry.Counter
+}
+
+// SetTelemetry attaches request/timeout/fallback counters from the
+// registry.  A nil registry detaches (the handles become no-op nils).
+func (h *HotCall) SetTelemetry(reg *telemetry.Registry) {
+	h.requests = reg.Counter(telemetry.MetricHotCallRequests)
+	h.timeouts = reg.Counter(telemetry.MetricHotCallTimeouts)
+	h.fallbacks = reg.Counter(telemetry.MetricHotCallFallbacks)
 }
 
 // pause yields the processor inside a busy-wait loop — the PAUSE
@@ -84,6 +101,7 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	h.requests.Inc()
 	// Submission: acquire the lock, verify the responder is free, plant
 	// the request, signal "go" by flipping the state, release the lock.
 	// The attempts use TryLock so that a wedged lock (an adversary, or a
@@ -108,6 +126,7 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 		pause()
 	}
 	if !submitted {
+		h.timeouts.Inc()
 		return 0, ErrTimeout
 	}
 	if h.sleeping.Load() {
@@ -140,6 +159,7 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 func (h *HotCall) CallOrFallback(id CallID, data interface{}, fallback func() (uint64, error)) (uint64, error) {
 	ret, err := h.Call(id, data)
 	if errors.Is(err, ErrTimeout) {
+		h.fallbacks.Inc()
 		return fallback()
 	}
 	return ret, err

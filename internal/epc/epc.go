@@ -17,6 +17,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"hotcalls/internal/telemetry"
 )
 
 // PageSize is the SGX page granularity.
@@ -77,6 +79,11 @@ type Manager struct {
 	faults    uint64
 	evictions uint64
 	touches   uint64
+
+	// Telemetry counters (nil when observability is off): faults are
+	// ELDU work, evictions are EWB work.
+	faultCtr *telemetry.Counter
+	evictCtr *telemetry.Counter
 }
 
 // NewManager returns an EPC manager with the given capacity in bytes,
@@ -115,6 +122,13 @@ func (m *Manager) Stats() (touches, faults, evictions uint64) {
 	return m.touches, m.faults, m.evictions
 }
 
+// SetTelemetry attaches fault (ELDU) and eviction (EWB) counters from
+// the registry.  A nil registry detaches.
+func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
+	m.faultCtr = reg.Counter(telemetry.MetricEPCFaults)
+	m.evictCtr = reg.Counter(telemetry.MetricEPCEvictions)
+}
+
 // Touch records an access to a page and returns the paging cost in cycles:
 // zero when resident, FaultCost (plus this fault's share of any needed
 // eviction work) when the page must be brought in.
@@ -125,6 +139,7 @@ func (m *Manager) Touch(page uint64) (fault bool, cycles float64) {
 		return false, 0
 	}
 	m.faults++
+	m.faultCtr.Inc()
 	cycles = FaultCost
 	for len(m.resident) >= m.capacity {
 		m.evictOne()
@@ -166,6 +181,7 @@ func (m *Manager) evictOne() {
 		}
 		// Victim found: EWB.
 		m.evictions++
+		m.evictCtr.Inc()
 		m.clock = append(m.clock[:m.hand], m.clock[m.hand+1:]...)
 		m.swapOut(page, st)
 		delete(m.resident, page)

@@ -2,6 +2,7 @@ package mee
 
 import (
 	"hotcalls/internal/cache"
+	"hotcalls/internal/telemetry"
 )
 
 // CostModel answers "how many extra cycles does an access to encrypted
@@ -20,6 +21,12 @@ import (
 // cache-load miss (400 vs 308 cycles).
 type CostModel struct {
 	nodeCache *cache.Cache
+
+	// Telemetry handles (nil when observability is off; nil handles are
+	// no-ops).  The tree walk runs for every encrypted line, so these are
+	// cached counters, never registry lookups.
+	nodeHits   *telemetry.Counter
+	nodeMisses *telemetry.Counter
 
 	// Calibrated constants.  See DESIGN.md section 4 for how each is
 	// pinned to a row of Table 1.
@@ -81,6 +88,13 @@ func ctrNodeAddr(level int, line uint64) uint64 {
 // whole 93 MB EPC; in practice upper levels hit the node cache.
 const walkLevels = 4
 
+// SetTelemetry attaches tree-walk hit/miss counters from the registry.
+// A nil registry detaches (handles become no-op nils).
+func (m *CostModel) SetTelemetry(reg *telemetry.Registry) {
+	m.nodeHits = reg.Counter(telemetry.MetricMEENodeHits)
+	m.nodeMisses = reg.Counter(telemetry.MetricMEENodeMiss)
+}
+
 // touchMetadata walks the tree for one data line through the node cache and
 // returns the number of node fetches that missed.
 func (m *CostModel) touchMetadata(line uint64) (misses int) {
@@ -91,6 +105,10 @@ func (m *CostModel) touchMetadata(line uint64) (misses int) {
 		if hit, _ := m.nodeCache.Access(ctrNodeAddr(level, line), false); !hit {
 			misses++
 		}
+	}
+	if m.nodeHits != nil {
+		m.nodeHits.Add(uint64(walkLevels + 1 - misses))
+		m.nodeMisses.Add(uint64(misses))
 	}
 	return misses
 }

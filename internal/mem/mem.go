@@ -14,6 +14,7 @@ import (
 	"hotcalls/internal/epc"
 	"hotcalls/internal/mee"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // Address-space layout.  The enclave region sits far above plaintext
@@ -58,6 +59,10 @@ type System struct {
 	rng *sim.RNG
 
 	pageFaults uint64
+
+	// tracer records paging events with cycle timestamps; nil (a no-op)
+	// unless SetTelemetry attached a registry with tracing enabled.
+	tracer *telemetry.Tracer
 }
 
 // New returns a memory system with the testbed geometry: 8 MB LLC, MEE
@@ -96,11 +101,27 @@ func page(addr uint64) uint64 { return (addr - EnclaveBase) / epc.PageSize }
 // PageFaults returns the cumulative number of EPC page faults charged.
 func (s *System) PageFaults() uint64 { return s.pageFaults }
 
+// SetTelemetry attaches the observability registry to the whole memory
+// hierarchy: EPC fault/eviction counters, MEE tree-walk counters, and
+// (when tracing is enabled) paging trace events.  A nil registry
+// detaches everything.
+func (s *System) SetTelemetry(reg *telemetry.Registry) {
+	s.tracer = reg.Tracer()
+	s.EPC.SetTelemetry(reg)
+	s.MEE.SetTelemetry(reg)
+}
+
 // touchPage charges EPC paging cost for an enclave access.
 func (s *System) touchPage(clk *sim.Clock, addr uint64) {
 	fault, cycles := s.EPC.Touch(page(addr))
 	if fault {
 		s.pageFaults++
+		if s.tracer != nil {
+			// The fault span is trap + ELDU plus any EWBs it forced;
+			// recover the eviction count from the charged cycles.
+			evictions := uint64((cycles - epc.FaultCost) / epc.EWBCost)
+			s.tracer.Emit(telemetry.KindEPCFault, "epc_fault", clk.Now(), uint64(cycles), evictions)
+		}
 		clk.AdvanceF(cycles)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"hotcalls/internal/edl"
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // Software fixed costs of the ecall path, in cycles.  Together with the
@@ -64,6 +65,8 @@ func (rt *Runtime) ECall(clk *sim.Clock, name string, args ...Arg) (uint64, erro
 		}
 	}
 	rt.counters[name]++
+	rt.tel.ecalls.Inc()
+	callStart := clk.Now()
 
 	m := rt.Platform.Mem
 
@@ -109,6 +112,10 @@ func (rt *Runtime) ECall(clk *sim.Clock, name string, args ...Arg) (uint64, erro
 	clk.Advance(ecallPostFixed)
 	for i := 0; i < avxLines; i++ {
 		m.Load(clk, avxSaveAddr+uint64(i)*mem.LineSize)
+	}
+	rt.tel.ecallCycles.ObserveSince(callStart, clk.Now())
+	if tr := rt.tel.tracer; tr != nil {
+		tr.Emit(telemetry.KindEcall, "ecall:"+name, callStart, clk.Since(callStart), 0)
 	}
 	return ret, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"hotcalls/internal/edl"
 	"hotcalls/internal/mem"
+	"hotcalls/internal/telemetry"
 )
 
 // Software fixed costs of the ocall path, in cycles, calibrated so an
@@ -49,6 +50,8 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 		return 0, err
 	}
 	rt.counters[name]++
+	rt.tel.ocalls.Inc()
+	callStart := clk.Now()
 
 	m := rt.Platform.Mem
 
@@ -85,5 +88,9 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 	// the insecure stack.
 	clk.Advance(ocallReturnFixed)
 	finish()
+	rt.tel.ocallCycles.ObserveSince(callStart, clk.Now())
+	if tr := rt.tel.tracer; tr != nil {
+		tr.Emit(telemetry.KindOcall, "ocall:"+name, callStart, clk.Since(callStart), 0)
+	}
 	return ret, nil
 }

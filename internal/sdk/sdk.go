@@ -20,6 +20,7 @@ import (
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sgx"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // Errors returned by the call paths.
@@ -111,6 +112,31 @@ type Runtime struct {
 	counters   map[string]uint64
 	ocallStack []string // pending ocalls, for allow-list enforcement
 	stackTop   uint64   // untrusted stack cursor (alloca)
+
+	// tel caches the runtime's telemetry handles; all nil (no-op) until
+	// SetTelemetry attaches a registry.
+	tel runtimeTel
+}
+
+// runtimeTel is the set of handles the SDK call paths touch.
+type runtimeTel struct {
+	ecalls, ocalls           *telemetry.Counter
+	ecallCycles, ocallCycles *telemetry.Histogram
+	tracer                   *telemetry.Tracer
+}
+
+// SetTelemetry attaches the observability registry to the SDK runtime:
+// per-direction call counters, cycle-latency histograms, and (when
+// tracing is enabled) one span per boundary crossing.  A nil registry
+// detaches.
+func (rt *Runtime) SetTelemetry(reg *telemetry.Registry) {
+	rt.tel = runtimeTel{
+		ecalls:      reg.Counter(telemetry.MetricEcalls),
+		ocalls:      reg.Counter(telemetry.MetricOcalls),
+		ecallCycles: reg.Histogram(telemetry.MetricEcallCycles),
+		ocallCycles: reg.Histogram(telemetry.MetricOcallCycles),
+		tracer:      reg.Tracer(),
+	}
 }
 
 // Fixed plain-memory landmarks of the untrusted runtime.  Keeping them at

@@ -3,6 +3,7 @@ package sgx
 import (
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // This file models the control-transfer leaf instructions.  Each charges a
@@ -40,6 +41,14 @@ func (e *Enclave) touchEnclaveEntryState(clk *sim.Clock, tcs *TCS) {
 	m.Store(clk, e.codeBase+PageSize/2) // trusted stack line
 }
 
+// leafEvent counts a completed leaf instruction and traces its span.
+func (e *Enclave) leafEvent(ctr *telemetry.Counter, kind telemetry.Kind, clk *sim.Clock, start uint64) {
+	ctr.Inc()
+	if tr := e.platform.tel.tracer; tr != nil {
+		tr.Emit(kind, kind.String(), start, clk.Since(start), uint64(e.id))
+	}
+}
+
 // EEnter performs the secure context switch into the enclave on the given
 // TCS.  The enclave must be initialized and the TCS free.
 func (e *Enclave) EEnter(clk *sim.Clock, tcs *TCS) error {
@@ -49,9 +58,11 @@ func (e *Enclave) EEnter(clk *sim.Clock, tcs *TCS) error {
 	if tcs.entered {
 		return ErrTCSBusy
 	}
+	start := clk.Now()
 	clk.Advance(eenterFixed)
 	e.touchEnclaveEntryState(clk, tcs)
 	tcs.entered = true
+	e.leafEvent(e.platform.tel.eenter, telemetry.KindEEnter, clk, start)
 	return nil
 }
 
@@ -60,6 +71,7 @@ func (e *Enclave) EExit(clk *sim.Clock, tcs *TCS) error {
 	if !tcs.entered {
 		return ErrTCSNotEntered
 	}
+	start := clk.Now()
 	clk.Advance(eexitFixed)
 	// The exit path touches the same TCS/SSA lines (warm if just
 	// entered) and the untrusted return context.
@@ -70,6 +82,7 @@ func (e *Enclave) EExit(clk *sim.Clock, tcs *TCS) error {
 	m.Load(clk, mem.PlainBase+untrustedContextOff) // saved RSP/RBP area
 	m.Load(clk, mem.PlainBase+untrustedContextOff+mem.LineSize)
 	tcs.entered = false
+	e.leafEvent(e.platform.tel.eexit, telemetry.KindEExit, clk, start)
 	return nil
 }
 
@@ -82,9 +95,11 @@ func (e *Enclave) EResume(clk *sim.Clock, tcs *TCS) error {
 	if tcs.entered {
 		return ErrTCSBusy
 	}
+	start := clk.Now()
 	clk.Advance(eresumeFixed)
 	e.touchEnclaveEntryState(clk, tcs)
 	tcs.entered = true
+	e.leafEvent(e.platform.tel.eresume, telemetry.KindEResume, clk, start)
 	return nil
 }
 
@@ -95,6 +110,7 @@ func (e *Enclave) AEX(clk *sim.Clock, tcs *TCS) error {
 	if !tcs.entered {
 		return ErrTCSNotEntered
 	}
+	start := clk.Now()
 	clk.Advance(aexFixed)
 	ssaBase := tcs.addr + PageSize*uint64(len(e.tcs))
 	m := e.platform.Mem
@@ -103,6 +119,7 @@ func (e *Enclave) AEX(clk *sim.Clock, tcs *TCS) error {
 	}
 	tcs.cssa++
 	tcs.entered = false
+	e.leafEvent(e.platform.tel.aex, telemetry.KindAEX, clk, start)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
 )
 
 // PageSize is the SGX page granularity.
@@ -99,6 +100,30 @@ type Platform struct {
 	enclaves map[EnclaveID]*Enclave
 	nextID   EnclaveID
 	nextBase uint64
+
+	// tel caches the platform's telemetry handles; all nil (no-op) until
+	// SetTelemetry attaches a registry.
+	tel platformTel
+}
+
+// platformTel is the set of cached handles the leaf instructions touch.
+type platformTel struct {
+	eenter, eexit, eresume, aex *telemetry.Counter
+	tracer                      *telemetry.Tracer
+}
+
+// SetTelemetry attaches the observability registry to the platform: leaf
+// instruction counters and boundary trace events here, and the memory
+// hierarchy's counters through mem.System.  A nil registry detaches.
+func (p *Platform) SetTelemetry(reg *telemetry.Registry) {
+	p.tel = platformTel{
+		eenter:  reg.Counter(telemetry.MetricEEnter),
+		eexit:   reg.Counter(telemetry.MetricEExit),
+		eresume: reg.Counter(telemetry.MetricResume),
+		aex:     reg.Counter(telemetry.MetricAEX),
+		tracer:  reg.Tracer(),
+	}
+	p.Mem.SetTelemetry(reg)
 }
 
 // NewPlatform returns a platform with the testbed memory hierarchy and

@@ -280,14 +280,53 @@ func TestSampleMedianMatchesSort(t *testing.T) {
 	}
 }
 
-func TestEmptySamplePanics(t *testing.T) {
+func TestEmptySampleReturnsZero(t *testing.T) {
+	// Order statistics of an empty sample are the documented zero value,
+	// not a panic: live telemetry snapshots may render before the first
+	// observation arrives.
+	var s Sample
+	if got := s.Median(); got != 0 {
+		t.Fatalf("empty median = %v, want 0", got)
+	}
+	if got := s.Percentile(99.9); got != 0 {
+		t.Fatalf("empty p99.9 = %v, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+	if got := s.Min(); got != 0 {
+		t.Fatalf("empty min = %v, want 0", got)
+	}
+	if got := s.Max(); got != 0 {
+		t.Fatalf("empty max = %v, want 0", got)
+	}
+	if got := s.Summary(); got != "n=0" {
+		t.Fatalf("empty summary = %q", got)
+	}
+}
+
+func TestSingleElementSample(t *testing.T) {
+	var s Sample
+	s.Add(620)
+	for _, p := range []float64{0, 50, 99.9, 100} {
+		if got := s.Percentile(p); got != 620 {
+			t.Fatalf("single-element p%v = %v, want 620", p, got)
+		}
+	}
+	if s.Median() != 620 || s.Mean() != 620 || s.Min() != 620 || s.Max() != 620 {
+		t.Fatal("single-element order statistics must all return the element")
+	}
+}
+
+func TestPercentileOutOfRangeStillPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("expected panic for p out of [0, 100]")
 		}
 	}()
 	var s Sample
-	s.Median()
+	s.Add(1)
+	s.Percentile(101)
 }
 
 func TestMeasureMethodology(t *testing.T) {

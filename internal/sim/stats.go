@@ -40,14 +40,19 @@ func (s *Sample) sort() {
 	}
 }
 
-// Median returns the 50th percentile.  It panics on an empty sample.
+// Median returns the 50th percentile, or 0 on an empty sample (see
+// Percentile).
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks.  It panics on an empty sample.
+// interpolation between closest ranks.  An empty sample has no order
+// statistics; rather than panic mid-experiment, it returns the
+// documented zero value 0 — callers that must distinguish "empty" from
+// "measured zero cycles" check Len first.  A single-element sample
+// returns that element for every p.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
-		panic("sim: percentile of empty sample")
+		return 0
 	}
 	if p < 0 || p > 100 {
 		panic("sim: percentile out of range")
@@ -65,10 +70,10 @@ func (s *Sample) Percentile(p float64) float64 {
 	return s.values[lo]*(1-frac) + s.values[lo+1]*frac
 }
 
-// Mean returns the arithmetic mean.  It panics on an empty sample.
+// Mean returns the arithmetic mean, or 0 on an empty sample.
 func (s *Sample) Mean() float64 {
 	if len(s.values) == 0 {
-		panic("sim: mean of empty sample")
+		return 0
 	}
 	var sum float64
 	for _, v := range s.values {
@@ -77,14 +82,20 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.values))
 }
 
-// Min returns the smallest observation.  It panics on an empty sample.
+// Min returns the smallest observation, or 0 on an empty sample.
 func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
 	s.sort()
 	return s.values[0]
 }
 
-// Max returns the largest observation.  It panics on an empty sample.
+// Max returns the largest observation, or 0 on an empty sample.
 func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
 	s.sort()
 	return s.values[len(s.values)-1]
 }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the fan-out of one counter.  Eight cache-line-padded
+// slots keep concurrent requester goroutines off each other's lines
+// without making Load scans expensive.
+const counterShards = 8
+
+// shard is one padded counter slot: the value plus enough padding to fill
+// a 64-byte cache line, so two shards never false-share.
+type shard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a sharded, lock-free event counter.  A nil *Counter is a
+// valid disabled counter: Add/Inc are no-ops and Load returns 0.  That is
+// the whole fast-path story — instrumented code holds a *Counter that is
+// nil when telemetry is off, and pays one predictable branch.
+type Counter struct {
+	name   string
+	shards [counterShards]shard
+}
+
+// shardIndex picks a shard from the address of a stack variable.
+// Goroutine stacks are disjoint, so concurrent writers spread across
+// shards with no lock, no goroutine ID, and no per-goroutine state; a
+// stack move just switches shards, which merging makes harmless.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b)) >> 10 & (counterShards - 1))
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current total across all shards.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}

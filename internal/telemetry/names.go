@@ -1,0 +1,58 @@
+package telemetry
+
+// Standard metric names used by the instrumented stack.  Centralising
+// them here keeps the layers (sgx, sdk, core, epc, mee, apps) agreeing on
+// spelling, and lets front ends pre-register the set so a dump always
+// shows the whole boundary picture even when a run exercised only part
+// of it.
+const (
+	// Boundary-crossing counters.
+	MetricEcalls           = "sdk_ecalls_total"
+	MetricOcalls           = "sdk_ocalls_total"
+	MetricHotECalls        = "hotcall_ecalls_total"
+	MetricHotOCalls        = "hotcall_ocalls_total"
+	MetricHotCallRequests  = "hotcall_requests_total"
+	MetricHotCallTimeouts  = "hotcall_timeouts_total"
+	MetricHotCallFallbacks = "hotcall_fallbacks_total"
+
+	// Leaf-instruction counters.
+	MetricEEnter = "sgx_eenter_total"
+	MetricEExit  = "sgx_eexit_total"
+	MetricResume = "sgx_eresume_total"
+	MetricAEX    = "sgx_aex_total"
+
+	// Paging and MEE counters.
+	MetricEPCFaults    = "epc_faults_total"    // ELDU: trap + decrypt + verify + install
+	MetricEPCEvictions = "epc_evictions_total" // EWB: encrypt + MAC + write-out
+	MetricMEENodeHits  = "mee_node_cache_hits_total"
+	MetricMEENodeMiss  = "mee_node_cache_misses_total"
+
+	// Cycle-latency histograms.
+	MetricEcallCycles   = "ecall_cycles"
+	MetricOcallCycles   = "ocall_cycles"
+	MetricHotCallCycles = "hotcall_cycles"
+)
+
+// standardCounters and standardHistograms are the names RegisterStandard
+// pre-creates.
+var standardCounters = []string{
+	MetricEcalls, MetricOcalls, MetricHotECalls, MetricHotOCalls,
+	MetricHotCallRequests, MetricHotCallTimeouts, MetricHotCallFallbacks,
+	MetricEEnter, MetricEExit, MetricResume, MetricAEX,
+	MetricEPCFaults, MetricEPCEvictions, MetricMEENodeHits, MetricMEENodeMiss,
+}
+
+var standardHistograms = []string{
+	MetricEcallCycles, MetricOcallCycles, MetricHotCallCycles,
+}
+
+// RegisterStandard pre-creates the standard boundary metrics so exports
+// always include the full set (at zero when untouched).  Safe on nil.
+func RegisterStandard(r *Registry) {
+	for _, name := range standardCounters {
+		r.Counter(name)
+	}
+	for _, name := range standardHistograms {
+		r.Histogram(name)
+	}
+}
