@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead experiments
+.PHONY: check vet build test test-race bench-overhead experiments bench-json profile
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -27,3 +27,13 @@ bench-overhead:
 
 experiments:
 	$(GO) run ./cmd/hotbench -experiments-md EXPERIMENTS.md
+
+# bench-json regenerates the machine-readable results artifact that perf
+# changes diff against.
+bench-json:
+	$(GO) run ./cmd/hotbench -run all -bench-json BENCH_hotcalls.json
+
+# profile runs the microbenchmarks under deep tracing and emits folded
+# flame-graph stacks plus a pprof protobuf.
+profile:
+	$(GO) run ./cmd/hotbench -run table1 -profile hotcalls.folded

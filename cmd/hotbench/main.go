@@ -14,6 +14,8 @@
 //
 //	hotbench -run table1 -metrics          # Prometheus dump after the run
 //	hotbench -run table1 -trace out.json   # Chrome trace_event JSON
+//	hotbench -run table1 -profile out.folded # cycle-attribution profile
+//	hotbench -run all -bench-json BENCH_hotcalls.json
 package main
 
 import (
@@ -25,12 +27,19 @@ import (
 	"time"
 
 	"hotcalls/internal/bench"
+	"hotcalls/internal/profile"
 	"hotcalls/internal/telemetry"
 )
 
 // traceCapacity bounds the boundary-event ring: enough for a full
 // microbenchmark experiment without unbounded memory.
 const traceCapacity = 1 << 18
+
+// profileCapacity sizes the deep-tracing ring: per-phase and per-memory-
+// operation events are ~20x denser than boundary spans, and the profiler
+// wants whole call trees, not just the tail (table1 alone emits ~3M
+// events).
+const profileCapacity = 1 << 22
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
@@ -39,12 +48,17 @@ func main() {
 	mdPath := flag.String("experiments-md", "", "run everything and write the EXPERIMENTS.md report to this path")
 	metrics := flag.Bool("metrics", false, "dump all counters and histograms in Prometheus text format after the run")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of boundary crossings to this path")
+	profilePath := flag.String("profile", "", "write a cycle-attribution profile: folded flame-graph stacks to this path, pprof protobuf to <path>.pb.gz, breakdown tables to stdout")
+	benchJSON := flag.String("bench-json", "", "write machine-readable benchmark results (medians, speedups, metadata) as JSON to this path")
 	flag.Parse()
 
 	var reg *telemetry.Registry
-	if *metrics || *tracePath != "" {
+	if *metrics || *tracePath != "" || *profilePath != "" {
 		reg = telemetry.New()
-		if *tracePath != "" {
+		if *profilePath != "" {
+			// Deep tracing feeds both the profiler and -trace.
+			reg.EnableDeepTracing(profileCapacity)
+		} else if *tracePath != "" {
 			reg.EnableTracing(traceCapacity)
 		}
 		bench.SetTelemetry(reg)
@@ -80,9 +94,11 @@ func main() {
 		}
 	}
 
+	var reports []*bench.Report
 	for _, e := range experiments {
 		start := time.Now()
 		report := e.Run()
+		reports = append(reports, report)
 		fmt.Printf("=== %s ===\n%s\n%s(%.1fs)\n\n", report.ID, report.Title, report.Table, time.Since(start).Seconds())
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -125,5 +141,56 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hotbench: trace ring overflowed, oldest %d events dropped\n", tr.Dropped())
 		}
 		fmt.Println("wrote", *tracePath)
+	}
+	if *profilePath != "" {
+		tr := reg.Tracer()
+		if tr.Dropped() > 0 {
+			fmt.Fprintf(os.Stderr, "hotbench: profile ring overflowed, oldest %d events dropped; attribution is partial\n", tr.Dropped())
+		}
+		prof := profile.Analyze(tr.Events())
+		writeTo := func(path string, fn func(*os.File) error) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+				os.Exit(1)
+			}
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+		writeTo(*profilePath, func(f *os.File) error { return prof.WriteFolded(f) })
+		writeTo(*profilePath+".pb.gz", func(f *os.File) error { return prof.WritePprof(f) })
+		fmt.Println("=== cycle attribution (per call site) ===")
+		if err := prof.WriteCallTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := prof.WriteCategoryTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = bench.WriteJSONReport(f, reports)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *benchJSON)
 	}
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "fig10", "fig11", "ablation-calls", "ablation-cores", "breakdown", "loadcurve"}
+	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "fig10", "fig11", "ablation-calls", "ablation-cores", "breakdown", "loadcurve", "profile"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -253,6 +253,25 @@ func TestReportsRender(t *testing.T) {
 		if len(r.Values) == 0 {
 			t.Errorf("%s: no structured values", e.ID)
 		}
+	}
+}
+
+// TestProfileCrossValidation pins the experiment-level form of the
+// profiler's acceptance criterion: every trace-attributed component is
+// within ±5% of the analytic model (the full per-component matrix,
+// including absent components, lives in internal/profile's tests).
+func TestProfileCrossValidation(t *testing.T) {
+	r := report(t, "profile")
+	if len(r.Values) == 0 {
+		t.Fatal("profile experiment produced no values")
+	}
+	for _, v := range r.Values {
+		if dev := math.Abs(v.Deviation()); dev > 0.05 {
+			t.Errorf("%s: trace %.1f vs analytic %.1f (%.1f%% apart)", v.Name, v.Got, v.Paper, dev*100)
+		}
+	}
+	if !strings.Contains(r.Table, "hotecall:ecall_empty") {
+		t.Errorf("profile table missing hotcall row:\n%s", r.Table)
 	}
 }
 

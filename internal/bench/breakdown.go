@@ -81,6 +81,11 @@ func runBreakdown() *Report {
 	for _, rn := range runners {
 		for _, mode := range []porting.Mode{porting.SGX, porting.HotCallsNRZ} {
 			prof, total, n := rn.drive(mode)
+			r.Values = append(r.Values, Value{
+				Name: rn.name + " " + mode.String() + " cycles/request",
+				Got:  float64(total) / float64(n),
+				Unit: "cycles",
+			})
 			t := prof.Totals()
 			app := t[porting.CatAppWork] + t[porting.CatDataStore] + t[porting.CatCrypto]
 			pctOf := func(c uint64) string { return fmt.Sprintf("%.1f%%", float64(c)/float64(total)*100) }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBuildJSONReport feeds synthetic reports shaped like table1/fig3 and
+// checks the summary extraction and speedup arithmetic.
+func TestBuildJSONReport(t *testing.T) {
+	reports := []*Report{
+		{ID: "table1", Title: "Table 1", Values: []Value{
+			{Name: "Ecall (warm cache)", Got: 8640, Paper: 8640, Unit: "cycles"},
+			{Name: "Ocall (warm cache)", Got: 8314, Paper: 8314, Unit: "cycles"},
+		}},
+		{ID: "fig3", Title: "Figure 3", Values: []Value{
+			{Name: "hotcall median", Got: 576, Paper: 620, Unit: "cycles"},
+		}},
+	}
+	out := BuildJSONReport(reports)
+
+	if out.Schema != "hotcalls-bench/v1" {
+		t.Fatalf("schema = %q", out.Schema)
+	}
+	if out.Summary.EcallWarmMedianCycles != 8640 || out.Summary.OcallWarmMedianCycles != 8314 {
+		t.Fatalf("summary medians = %+v", out.Summary)
+	}
+	if out.Summary.HotCallMedianCycles != 576 {
+		t.Fatalf("hotcall median = %v", out.Summary.HotCallMedianCycles)
+	}
+	if got, want := out.Summary.HotCallVsEcallSpeedup, 8640.0/576; got != want {
+		t.Fatalf("ecall speedup = %v, want %v", got, want)
+	}
+	if got, want := out.Summary.HotCallVsOcallSpeedup, 8314.0/576; got != want {
+		t.Fatalf("ocall speedup = %v, want %v", got, want)
+	}
+	if len(out.Experiments) != 2 || len(out.Experiments[0].Values) != 2 {
+		t.Fatalf("experiments = %+v", out.Experiments)
+	}
+	if dev := out.Experiments[1].Values[0].DeviationPct; dev == 0 {
+		t.Fatal("deviation not computed for a value with a paper number")
+	}
+}
+
+// TestWriteJSONReport checks the artifact is valid, indented JSON that
+// round-trips through the standard decoder.
+func TestWriteJSONReport(t *testing.T) {
+	var sb strings.Builder
+	err := WriteJSONReport(&sb, []*Report{
+		{ID: "table1", Title: "Table 1", Values: []Value{
+			{Name: "Ecall (warm cache)", Got: 8640, Paper: 8640, Unit: "cycles"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.GoVersion == "" || decoded.GeneratedAt == "" {
+		t.Fatalf("missing run metadata: %+v", decoded)
+	}
+	if !strings.Contains(sb.String(), "\n  ") {
+		t.Fatal("output is not indented")
+	}
+}

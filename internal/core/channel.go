@@ -63,22 +63,41 @@ func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	ch.tel.ocalls.Inc()
 	callStart := clk.Now()
 
+	tr := ch.tel.tracer
+	deep := tr.Detailed()
 	outer, finish, err := ch.RT.StageOCallArgs(clk, decl, args)
 	if err != nil {
 		return 0, err
+	}
+	if deep && clk.Now() > callStart {
+		tr.Emit(telemetry.KindMarshal, "stage:"+name, callStart, clk.Since(callStart), 0)
 	}
 	// Synchronization: request submission, responder pickup, completion
 	// polling.  The handler runs on the responder core while the
 	// requester spins, so its execution time adds to the observed
 	// latency.
+	spinStart := clk.Now()
 	clk.AdvanceF(ch.Model.Sample())
+	if deep {
+		tr.Emit(telemetry.KindSpin, "hotcall-sync", spinStart, clk.Since(spinStart), 0)
+	}
 	var handlerClk sim.Clock
+	handlerStart := clk.Now()
 	ret := fn(&sdk.Ctx{Clk: &handlerClk, RT: ch.RT}, outer)
 	clk.Advance(handlerClk.Now())
+	if deep && clk.Now() > handlerStart {
+		// The handler body ran on the responder's own clock; its span is
+		// re-anchored on the requester timeline.
+		tr.Emit(telemetry.KindHandler, "handler:"+name, handlerStart, clk.Since(handlerStart), 0)
+	}
 
+	copyOutStart := clk.Now()
 	finish()
+	if deep && clk.Now() > copyOutStart {
+		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
+	}
 	ch.tel.cycles.ObserveSince(callStart, clk.Now())
-	if tr := ch.tel.tracer; tr != nil {
+	if tr != nil {
 		tr.Emit(telemetry.KindHotOCall, "hotocall:"+name, callStart, clk.Since(callStart), 0)
 	}
 	return ret, nil
@@ -96,20 +115,37 @@ func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	ch.tel.ecalls.Inc()
 	callStart := clk.Now()
 
+	tr := ch.tel.tracer
+	deep := tr.Detailed()
 	inner, finish, err := ch.RT.StageECallArgs(clk, decl, args)
 	if err != nil {
 		return 0, err
 	}
+	if deep && clk.Now() > callStart {
+		tr.Emit(telemetry.KindMarshal, "stage:"+name, callStart, clk.Since(callStart), 0)
+	}
+	spinStart := clk.Now()
 	clk.AdvanceF(ch.Model.Sample())
+	if deep {
+		tr.Emit(telemetry.KindSpin, "hotcall-sync", spinStart, clk.Since(spinStart), 0)
+	}
 	var handlerClk sim.Clock
 	// The handler runs on the resident enclave worker; its own ocalls
 	// route back through this channel.
+	handlerStart := clk.Now()
 	ret := fn(&sdk.Ctx{Clk: &handlerClk, RT: ch.RT, Router: ch}, inner)
 	clk.Advance(handlerClk.Now())
+	if deep && clk.Now() > handlerStart {
+		tr.Emit(telemetry.KindHandler, "handler:"+name, handlerStart, clk.Since(handlerStart), 0)
+	}
 
+	copyOutStart := clk.Now()
 	finish()
+	if deep && clk.Now() > copyOutStart {
+		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
+	}
 	ch.tel.cycles.ObserveSince(callStart, clk.Now())
-	if tr := ch.tel.tracer; tr != nil {
+	if tr != nil {
 		tr.Emit(telemetry.KindHotECall, "hotecall:"+name, callStart, clk.Since(callStart), 0)
 	}
 	return ret, nil

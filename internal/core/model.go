@@ -39,6 +39,17 @@ func NewLatencyModel(rng *sim.RNG) *LatencyModel {
 	}
 }
 
+// Mean returns the closed-form expected round-trip latency: the fixed
+// cost, the two uniform loop-phase terms (LoopPeriod/2 each), the
+// expected contention rounds (RetryProb first rounds, each continuing
+// with probability RetryGeom), and the rare interrupt tail.  The
+// profiler's cross-validation test (internal/profile) checks the
+// trace-attributed spin-wait mean against this expression.
+func (m *LatencyModel) Mean() float64 {
+	retry := m.RetryProb * m.LoopPeriod / (1 - m.RetryGeom)
+	return m.Fixed + m.LoopPeriod + retry + m.TailProb*(m.TailBase+m.TailMean)
+}
+
 // Sample draws one HotCall round-trip latency in cycles.
 func (m *LatencyModel) Sample() float64 {
 	lat := m.Fixed +

@@ -27,8 +27,13 @@ const (
 
 // Latency constants, in cycles.  Each is pinned to a row of Table 1 or to
 // a decomposition documented in DESIGN.md section 4.
+// DemandHitCost is the cost of a demand load/store that hits anywhere in
+// the hierarchy, exported for the analytic cost model (internal/profile):
+// a warm call's cache component is its touched-line count times this.
+const DemandHitCost = 12
+
 const (
-	demandHitCost  = 12   // load/store hit anywhere in the hierarchy
+	demandHitCost  = DemandHitCost
 	streamHitCost  = 2    // pipelined hit during a streaming sweep
 	streamLine     = 21.9 // prefetched DRAM read, per line (727 = 32 lines + fence at 2 KB)
 	streamRFO      = 7    // pipelined read-for-ownership, per line
@@ -120,14 +125,51 @@ func (s *System) touchPage(clk *sim.Clock, addr uint64) {
 			// The fault span is trap + ELDU plus any EWBs it forced;
 			// recover the eviction count from the charged cycles.
 			evictions := uint64((cycles - epc.FaultCost) / epc.EWBCost)
-			s.tracer.Emit(telemetry.KindEPCFault, "epc_fault", clk.Now(), uint64(cycles), evictions)
+			start := clk.Now()
+			if s.tracer.Detailed() {
+				// EWB sub-spans first: the profiler's tree builder adopts
+				// already-emitted spans as children of the fault.
+				for i := uint64(0); i < evictions; i++ {
+					s.tracer.Emit(telemetry.KindEWB, "ewb",
+						start+uint64(epc.FaultCost)+i*uint64(epc.EWBCost), uint64(epc.EWBCost), 0)
+				}
+			}
+			s.tracer.Emit(telemetry.KindEPCFault, "epc_fault", start, uint64(cycles), evictions)
 		}
 		clk.AdvanceF(cycles)
 	}
 }
 
+// memSpanStart opens a deep-tracing window around a memory operation:
+// it records the clock and the MEE node-cache miss count so memSpanEnd
+// can attribute the operation's cycles between raw cache movement and
+// MEE integrity-tree work.
+func (s *System) memSpanStart(clk *sim.Clock) (start, misses uint64) {
+	start = clk.Now()
+	_, misses = s.MEE.NodeCacheStats()
+	return start, misses
+}
+
+// memSpanEnd closes a deep-tracing window: one KindMemAccess span whose
+// Arg carries the MEE-extra cycles, preceded by an instant KindMEEMiss
+// event when the operation walked the integrity tree.
+func (s *System) memSpanEnd(clk *sim.Clock, name string, start, missesBefore uint64, meeExtra float64) {
+	if _, m := s.MEE.NodeCacheStats(); m > missesBefore {
+		// Anchored at the operation's end so event end-times stay
+		// monotone within a clock domain (the tree builder's invariant).
+		s.tracer.Emit(telemetry.KindMEEMiss, "mee-walk", clk.Now(), 0, m-missesBefore)
+	}
+	s.tracer.Emit(telemetry.KindMemAccess, name, start, clk.Since(start), uint64(meeExtra+0.5))
+}
+
 // Load performs one isolated (demand) load of the line containing addr.
 func (s *System) Load(clk *sim.Clock, addr uint64) {
+	deep := s.tracer.Detailed()
+	var start, misses uint64
+	if deep {
+		start, misses = s.memSpanStart(clk)
+	}
+	var mee float64
 	enc := s.IsEnclave(addr)
 	if enc {
 		s.touchPage(clk, addr)
@@ -135,20 +177,30 @@ func (s *System) Load(clk *sim.Clock, addr uint64) {
 	hit, victim := s.LLC.Access(addr, false)
 	if hit {
 		clk.AdvanceF(demandHitCost)
-		return
+	} else {
+		lat := dramLoad.Sample(s.rng)
+		if enc {
+			mee = s.MEE.DemandLoadExtra(lineIndex(addr))
+			lat += mee
+		}
+		if victim.Valid && victim.Dirty {
+			lat += victimWB
+		}
+		clk.AdvanceF(lat)
 	}
-	lat := dramLoad.Sample(s.rng)
-	if enc {
-		lat += s.MEE.DemandLoadExtra(lineIndex(addr))
+	if deep {
+		s.memSpanEnd(clk, "load", start, misses, mee)
 	}
-	if victim.Valid && victim.Dirty {
-		lat += victimWB
-	}
-	clk.AdvanceF(lat)
 }
 
 // Store performs one isolated (demand) store to the line containing addr.
 func (s *System) Store(clk *sim.Clock, addr uint64) {
+	deep := s.tracer.Detailed()
+	var start, misses uint64
+	if deep {
+		start, misses = s.memSpanStart(clk)
+	}
+	var mee float64
 	enc := s.IsEnclave(addr)
 	if enc {
 		s.touchPage(clk, addr)
@@ -156,16 +208,20 @@ func (s *System) Store(clk *sim.Clock, addr uint64) {
 	hit, victim := s.LLC.Access(addr, true)
 	if hit {
 		clk.AdvanceF(demandHitCost)
-		return
+	} else {
+		lat := dramStore.Sample(s.rng)
+		if enc {
+			mee = s.MEE.DemandStoreExtra(lineIndex(addr))
+			lat += mee
+		}
+		if victim.Valid && victim.Dirty {
+			lat += victimWB
+		}
+		clk.AdvanceF(lat)
 	}
-	lat := dramStore.Sample(s.rng)
-	if enc {
-		lat += s.MEE.DemandStoreExtra(lineIndex(addr))
+	if deep {
+		s.memSpanEnd(clk, "store", start, misses, mee)
 	}
-	if victim.Valid && victim.Dirty {
-		lat += victimWB
-	}
-	clk.AdvanceF(lat)
 }
 
 // StreamRead charges a consecutive, prefetched read sweep over
@@ -174,6 +230,12 @@ func (s *System) StreamRead(clk *sim.Clock, addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	deep := s.tracer.Detailed()
+	var start, misses uint64
+	if deep {
+		start, misses = s.memSpanStart(clk)
+	}
+	var mee float64
 	enc := s.IsEnclave(addr)
 	footprint := int((size + LineSize - 1) / LineSize)
 	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
@@ -187,12 +249,17 @@ func (s *System) StreamRead(clk *sim.Clock, addr, size uint64) {
 		}
 		lat := float64(streamLine)
 		if enc {
-			lat += s.MEE.StreamLoadExtra(lineIndex(a), footprint)
+			extra := s.MEE.StreamLoadExtra(lineIndex(a), footprint)
+			mee += extra
+			lat += extra
 		}
 		if victim.Valid && victim.Dirty {
 			lat += victimWB
 		}
 		clk.AdvanceF(lat)
+	}
+	if deep {
+		s.memSpanEnd(clk, "stream-read", start, misses, mee)
 	}
 }
 
@@ -202,6 +269,12 @@ func (s *System) StreamWrite(clk *sim.Clock, addr, size uint64) {
 	if size == 0 {
 		return
 	}
+	deep := s.tracer.Detailed()
+	var start, misses uint64
+	if deep {
+		start, misses = s.memSpanStart(clk)
+	}
+	var mee float64
 	enc := s.IsEnclave(addr)
 	footprint := int((size + LineSize - 1) / LineSize)
 	for a := s.LLC.LineAddr(addr); a < addr+size; a += LineSize {
@@ -215,12 +288,17 @@ func (s *System) StreamWrite(clk *sim.Clock, addr, size uint64) {
 		}
 		lat := float64(streamRFO)
 		if enc {
-			lat += s.MEE.StreamStoreExtra(lineIndex(a), footprint)
+			extra := s.MEE.StreamStoreExtra(lineIndex(a), footprint)
+			mee += extra
+			lat += extra
 		}
 		if victim.Valid && victim.Dirty {
 			lat += victimWB
 		}
 		clk.AdvanceF(lat)
+	}
+	if deep {
+		s.memSpanEnd(clk, "stream-write", start, misses, mee)
 	}
 }
 

@@ -1,0 +1,71 @@
+package profile
+
+import (
+	"hotcalls/internal/core"
+	"hotcalls/internal/mem"
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/sgx"
+)
+
+// Analytic is the cost model's per-call component prediction for a warm
+// empty call, in cycles.  It is built from the same calibrated constants
+// the simulation charges, so the trace-attributed breakdown must agree
+// with it to within sampling noise — that agreement is the profiler's
+// headline correctness check (TestCrossValidation) and, transitively,
+// the cost model's.
+type Analytic struct {
+	Microcode float64
+	Marshal   float64
+	Spin      float64
+	Cache     float64
+}
+
+// Total returns the summed component prediction.
+func (a Analytic) Total() float64 { return a.Microcode + a.Marshal + a.Spin + a.Cache }
+
+// Component returns the prediction for one profiler category (zero for
+// categories a warm empty call never touches).
+func (a Analytic) Component(c Category) float64 {
+	switch c {
+	case CatMicrocode:
+		return a.Microcode
+	case CatMarshal:
+		return a.Marshal
+	case CatSpin:
+		return a.Spin
+	case CatCache:
+		return a.Cache
+	}
+	return 0
+}
+
+// AnalyticWarmECall decomposes the paper's 8,640-cycle warm ecall
+// (Table 1 row 1): EENTER+EEXIT microcode, the SDK software path, and
+// the path's touched lines hitting in cache.
+func AnalyticWarmECall() Analytic {
+	return Analytic{
+		Microcode: sgx.EEnterMicrocode + sgx.EExitMicrocode,
+		Marshal:   sdk.ECallSoftwareFixed,
+		Cache: float64(sdk.ECallTouchLines+sgx.EnterTouchLines+sgx.ExitTouchLines) *
+			mem.DemandHitCost,
+	}
+}
+
+// AnalyticWarmOCall decomposes the 8,314-cycle warm ocall (Table 1
+// row 4): EEXIT+ERESUME microcode, the trusted/untrusted software path,
+// and its touched lines.
+func AnalyticWarmOCall() Analytic {
+	return Analytic{
+		Microcode: sgx.EExitMicrocode + sgx.EResumeMicrocode,
+		Marshal:   sdk.OCallSoftwareFixed,
+		Cache: float64(sdk.OCallTouchLines+sgx.ExitTouchLines+sgx.ResumeTouchLines) *
+			mem.DemandHitCost,
+	}
+}
+
+// AnalyticHotCall decomposes an empty HotCall: no enclave crossing, no
+// marshalling work, just the shared-memory synchronization protocol —
+// the latency model's closed-form mean.
+func AnalyticHotCall(m *core.LatencyModel) Analytic {
+	return Analytic{Spin: m.Mean()}
+}

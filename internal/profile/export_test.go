@@ -1,0 +1,284 @@
+package profile_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/profile"
+	"hotcalls/internal/telemetry"
+)
+
+// exportProfile builds a small fixed profile with nesting, repeats, and
+// every event class the exporters must handle.
+func exportProfile() *profile.Profile {
+	events := []telemetry.Event{
+		{Kind: telemetry.KindMemAccess, Name: "load", TS: 1820, Dur: 12},
+		{Kind: telemetry.KindMemAccess, Name: "load", TS: 1856, Dur: 12},
+		{Kind: telemetry.KindEEnter, Name: "eenter", TS: 1844, Dur: 3034, Arg: 1},
+		{Kind: telemetry.KindEcall, Name: "ecall:ecall_empty", TS: 0, Dur: 8640},
+		// Second run, fresh clock.
+		{Kind: telemetry.KindMemAccess, Name: "load", TS: 1820, Dur: 12},
+		{Kind: telemetry.KindMemAccess, Name: "load", TS: 1856, Dur: 12},
+		{Kind: telemetry.KindEEnter, Name: "eenter", TS: 1844, Dur: 3034, Arg: 1},
+		{Kind: telemetry.KindEcall, Name: "ecall:ecall_empty", TS: 0, Dur: 8640},
+		// A HotCall on its own clock.
+		{Kind: telemetry.KindSpin, Name: "hotcall-sync", TS: 0, Dur: 571},
+		{Kind: telemetry.KindHotECall, Name: "hotecall:ecall_empty", TS: 0, Dur: 571},
+	}
+	return profile.Analyze(events)
+}
+
+// TestFoldedGolden is the export-determinism satellite for folded
+// stacks: identical traces produce byte-identical, checked-in output
+// (set UPDATE_GOLDEN=1 to regenerate).
+func TestFoldedGolden(t *testing.T) {
+	p := exportProfile()
+	var a, b strings.Builder
+	if err := p.WriteFolded(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("folded export is not deterministic across calls")
+	}
+	golden := filepath.Join("testdata", "folded_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(a.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if a.String() != string(want) {
+		t.Fatalf("folded export drifted from golden:\n got:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+// TestFoldedFormat checks the flamegraph.pl contract on the content
+// level: "frame;frame value" lines, aggregated repeats, self-time
+// weights that sum to the trace's attributed total.
+func TestFoldedFormat(t *testing.T) {
+	p := exportProfile()
+	var sb strings.Builder
+	if err := p.WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	seen := map[string]bool{}
+	for _, line := range lines {
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed folded line %q", line)
+		}
+		stack := line[:i]
+		if seen[stack] {
+			t.Fatalf("duplicate stack %q (must be aggregated)", stack)
+		}
+		seen[stack] = true
+		var v uint64
+		for _, ch := range line[i+1:] {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("non-numeric weight in %q", line)
+			}
+			v = v*10 + uint64(ch-'0')
+		}
+		total += v
+	}
+	// Two 8640-cycle ecalls plus one 571-cycle hotcall, fully attributed.
+	if want := uint64(2*8640 + 571); total != want {
+		t.Fatalf("folded weights sum to %d, want %d", total, want)
+	}
+	if !seen["ecall:ecall_empty;eenter;load"] {
+		t.Fatalf("missing nested stack; got %v", lines)
+	}
+}
+
+// TestPprofStructure decodes the gzipped protobuf with a minimal wire
+// parser and verifies the referential integrity go tool pprof relies on:
+// every sample location resolves to a location, every location to a
+// function, every function name to a string-table entry.
+func TestPprofStructure(t *testing.T) {
+	p := exportProfile()
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var strTab []string
+	var sampleLocIDs [][]uint64
+	locID := map[uint64]uint64{}  // location id -> function id
+	funcName := map[uint64]uint64{} // function id -> name string index
+	var sampleTypes int
+
+	parseTop(t, raw, func(field uint64, wire uint64, varint uint64, msg []byte) {
+		switch field {
+		case 1: // sample_type
+			sampleTypes++
+		case 2: // sample
+			var locs []uint64
+			parseTop(t, msg, func(f, w, v uint64, m []byte) {
+				if f == 1 && w == 0 {
+					locs = append(locs, v)
+				}
+			})
+			sampleLocIDs = append(sampleLocIDs, locs)
+		case 4: // location
+			var id, fid uint64
+			parseTop(t, msg, func(f, w, v uint64, m []byte) {
+				switch f {
+				case 1:
+					id = v
+				case 4:
+					parseTop(t, m, func(lf, lw, lv uint64, lm []byte) {
+						if lf == 1 {
+							fid = lv
+						}
+					})
+				}
+			})
+			locID[id] = fid
+		case 5: // function
+			var id, name uint64
+			parseTop(t, msg, func(f, w, v uint64, m []byte) {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+			})
+			funcName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(msg))
+		}
+	})
+
+	if sampleTypes != 1 {
+		t.Fatalf("sample_type count = %d, want 1", sampleTypes)
+	}
+	if len(strTab) == 0 || strTab[0] != "" {
+		t.Fatal("string table must start with the empty string")
+	}
+	joined := strings.Join(strTab, "\n")
+	for _, want := range []string{"cycles", "ecall:ecall_empty", "eenter", "hotcall-sync"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("string table missing %q: %v", want, strTab)
+		}
+	}
+	if len(sampleLocIDs) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, locs := range sampleLocIDs {
+		if len(locs) == 0 {
+			t.Fatal("sample with no locations")
+		}
+		for _, l := range locs {
+			fid, ok := locID[l]
+			if !ok {
+				t.Fatalf("sample references undefined location %d", l)
+			}
+			nameIdx, ok := funcName[fid]
+			if !ok {
+				t.Fatalf("location %d references undefined function %d", l, fid)
+			}
+			if nameIdx == 0 || nameIdx >= uint64(len(strTab)) {
+				t.Fatalf("function %d has invalid name index %d", fid, nameIdx)
+			}
+		}
+	}
+
+	// Determinism: a second export must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := exportProfile().WritePprof(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := exportProfile().WritePprof(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("pprof export is not deterministic")
+	}
+}
+
+// parseTop walks one protobuf message's top-level fields, invoking fn
+// with (field, wiretype, varint value, length-delimited payload).
+func parseTop(t *testing.T, b []byte, fn func(field, wire, varint uint64, msg []byte)) {
+	t.Helper()
+	for len(b) > 0 {
+		tag, n := readVarint(b)
+		if n == 0 {
+			t.Fatal("truncated tag")
+		}
+		b = b[n:]
+		field, wire := tag>>3, tag&7
+		switch wire {
+		case 0:
+			v, n := readVarint(b)
+			if n == 0 {
+				t.Fatal("truncated varint")
+			}
+			b = b[n:]
+			fn(field, wire, v, nil)
+		case 2:
+			l, n := readVarint(b)
+			if n == 0 || uint64(len(b)-n) < l {
+				t.Fatal("truncated length-delimited field")
+			}
+			fn(field, wire, 0, b[n:n+int(l)])
+			b = b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d", wire)
+		}
+	}
+}
+
+func readVarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// TestMarkdownTables smoke-tests the Table 1 / Table 2 renderers.
+func TestMarkdownTables(t *testing.T) {
+	p := exportProfile()
+	var call, cat strings.Builder
+	if err := p.WriteCallTable(&call); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteCategoryTable(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(call.String(), "ecall:ecall_empty | 2 | 8640 | 8640") {
+		t.Fatalf("call table:\n%s", call.String())
+	}
+	if !strings.Contains(cat.String(), "hotecall:ecall_empty") || !strings.Contains(cat.String(), "100.0%") {
+		t.Fatalf("category table:\n%s", cat.String())
+	}
+}

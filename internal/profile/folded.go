@@ -1,0 +1,60 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stack is one aggregated flame-graph stack: a root-first frame path and
+// the self cycles spent exactly there (descendant cycles are carried by
+// deeper stacks, as flame-graph tools expect).
+type Stack struct {
+	Frames []string
+	Cycles uint64
+}
+
+// Stacks aggregates the profile's forest into deterministic flame-graph
+// stacks: identical frame paths are merged and the result is sorted by
+// path, so repeated exports of the same trace are byte-identical.
+func (p *Profile) Stacks() []Stack {
+	agg := make(map[string]uint64)
+	var frames []string
+	var visit func(s *Span)
+	visit = func(s *Span) {
+		frames = append(frames, s.Event.Name)
+		if self := s.Self(); self > 0 {
+			agg[strings.Join(frames, ";")] += self
+		}
+		for _, c := range s.Children {
+			visit(c)
+		}
+		frames = frames[:len(frames)-1]
+	}
+	for _, r := range p.Roots {
+		visit(r)
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	stacks := make([]Stack, len(keys))
+	for i, k := range keys {
+		stacks[i] = Stack{Frames: strings.Split(k, ";"), Cycles: agg[k]}
+	}
+	return stacks
+}
+
+// WriteFolded renders the profile in Brendan Gregg's folded-stack
+// format — one "frame;frame;frame cycles" line per unique stack — which
+// flamegraph.pl and speedscope consume directly.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for _, s := range p.Stacks() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(s.Frames, ";"), s.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// This file is a minimal hand-rolled writer for pprof's profile.proto
+// (github.com/google/pprof/proto/profile.proto).  The repo deliberately
+// has no protobuf dependency; the encoding below covers exactly the
+// subset `go tool pprof` and speedscope need: string table, one sample
+// type, samples with leaf-first location chains, and one function per
+// distinct frame name.
+
+// protoBuf is a tiny protobuf wire-format encoder.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// uintField encodes a varint-typed field (wire type 0), eliding zero
+// values as proto3 does.
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+// bytesField encodes a length-delimited field (wire type 2).
+func (p *protoBuf) bytesField(field int, data []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+// valueType encodes a profile.ValueType{type, unit} message.
+func valueType(typeIdx, unitIdx uint64) []byte {
+	var m protoBuf
+	m.uintField(1, typeIdx)
+	m.uintField(2, unitIdx)
+	return m.b
+}
+
+// WritePprof renders the profile as gzipped pprof protobuf with one
+// "cycles/cycles" sample type.  Each aggregated stack becomes one sample
+// whose location chain is leaf-first, as the format requires.  Output is
+// deterministic: stacks, locations, and functions are emitted in the
+// sorted-stack order of Stacks().
+func (p *Profile) WritePprof(w io.Writer) error {
+	stacks := p.Stacks()
+
+	// String table: index 0 is "", then fixed strings, then frame names
+	// in first-appearance (deterministic) order.
+	strIdx := map[string]uint64{"": 0}
+	strTab := []string{""}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strTab))
+		strIdx[s] = i
+		strTab = append(strTab, s)
+		return i
+	}
+	cyclesIdx := intern("cycles")
+	fileIdx := intern("hotcalls-sim")
+
+	// One function + location per distinct frame name; ids are 1-based.
+	funcID := map[string]uint64{}
+	var funcOrder []string
+	idOf := func(frame string) uint64 {
+		if id, ok := funcID[frame]; ok {
+			return id
+		}
+		id := uint64(len(funcOrder) + 1)
+		funcID[frame] = id
+		funcOrder = append(funcOrder, frame)
+		return id
+	}
+
+	var out protoBuf
+	out.bytesField(1, valueType(cyclesIdx, cyclesIdx)) // sample_type
+	for _, s := range stacks {
+		var sample protoBuf
+		// location_id: leaf first.
+		for i := len(s.Frames) - 1; i >= 0; i-- {
+			sample.uintField(1, idOf(s.Frames[i]))
+		}
+		sample.uintField(2, s.Cycles) // value
+		out.bytesField(2, sample.b)
+	}
+	for i, frame := range funcOrder {
+		id := uint64(i + 1)
+		nameIdx := intern(frame)
+
+		var line protoBuf
+		line.uintField(1, id) // function_id
+
+		var loc protoBuf
+		loc.uintField(1, id) // id
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b) // location
+
+		var fn protoBuf
+		fn.uintField(1, id)      // id
+		fn.uintField(2, nameIdx) // name
+		fn.uintField(3, nameIdx) // system_name
+		fn.uintField(4, fileIdx) // filename
+		out.bytesField(5, fn.b)  // function
+	}
+	for _, s := range strTab {
+		out.bytesField(6, []byte(s)) // string_table
+	}
+	out.bytesField(11, valueType(cyclesIdx, cyclesIdx)) // period_type
+	out.uintField(12, 1)                                // period
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,61 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCallTable renders the Table 1 shape from traces: one row per call
+// site with call count, median and mean cycles per call.
+func (p *Profile) WriteCallTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| call site | calls | median cyc | mean cyc |\n|---|---:|---:|---:|\n"); err != nil {
+		return err
+	}
+	for _, name := range p.Names() {
+		b := p.Calls[name]
+		if _, err := fmt.Fprintf(w, "| %s | %d | %d | %.0f |\n",
+			name, b.Calls, b.Median(), b.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCategoryTable renders the Table 2 shape from traces: one row per
+// call site with the share of its cycles in every attribution category.
+func (p *Profile) WriteCategoryTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| call site | cyc/call |"); err != nil {
+		return err
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		if _, err := fmt.Fprintf(w, " %s |", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n|---|---:|"); err != nil {
+		return err
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		if _, err := fmt.Fprintf(w, "---:|"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, name := range p.Names() {
+		b := p.Calls[name]
+		if _, err := fmt.Fprintf(w, "| %s | %.0f |", name, b.Mean()); err != nil {
+			return err
+		}
+		for c := Category(0); c < NumCategories; c++ {
+			if _, err := fmt.Fprintf(w, " %.1f%% |", b.Share(c)*100); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package sdk
+
+// Exported software-path cost constants for the analytic cost model
+// (internal/profile).  These are sums of the calibrated per-phase fixed
+// costs, so the profiler's cross-validation pins against the exact same
+// numbers the simulation charges.
+const (
+	// ECallSoftwareFixed is the fixed (non-memory, non-microcode)
+	// software cost of an empty warm ecall: untrusted prep, trusted
+	// dispatch, and untrusted epilogue.
+	ECallSoftwareFixed = ecallPrepFixed + ecallDispatchFixed + ecallPostFixed
+
+	// OCallSoftwareFixed is the same for an empty warm ocall: trusted
+	// marshalling, untrusted dispatch, and trusted return handling.
+	OCallSoftwareFixed = ocallMarshalFixed + ocallDispatchFixed + ocallReturnFixed
+
+	// ECallTouchLines counts the cache lines the empty-ecall software
+	// path touches outside the leaf instructions: lookup + TCS lock +
+	// AVX save + marshal store on the way in, the trusted marshal load,
+	// and the AVX restore on the way out.
+	ECallTouchLines = 2 + avxLines + 1 + 1 + avxLines
+
+	// OCallTouchLines is the same for the empty-ocall path: the ocall
+	// frame header, the dispatch table, and the OS entry code.
+	OCallTouchLines = 1 + 1 + osCodeLines
+)

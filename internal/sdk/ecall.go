@@ -93,16 +93,30 @@ func (rt *Runtime) ECall(clk *sim.Clock, name string, args ...Arg) (uint64, erro
 	clk.Advance(ecallDispatchFixed)
 	m.Load(clk, marshalAddr)
 
+	tr := rt.tel.tracer
+	deep := tr.Detailed()
+	stageStart := clk.Now()
 	inner, finish, err := rt.StageECallArgs(clk, b.decl, args)
 	if err != nil {
 		rt.Enclave.EExit(clk, tcs)
 		return 0, err
 	}
+	if deep && clk.Now() > stageStart {
+		tr.Emit(telemetry.KindMarshal, "stage:"+name, stageStart, clk.Since(stageStart), 0)
+	}
 
+	handlerStart := clk.Now()
 	ret := b.fn(&Ctx{Clk: clk, RT: rt, TCS: tcs}, inner)
+	if deep && clk.Now() > handlerStart {
+		tr.Emit(telemetry.KindHandler, "handler:"+name, handlerStart, clk.Since(handlerStart), 0)
+	}
 
 	// --- Copy-out phase and staging release.
+	copyOutStart := clk.Now()
 	finish()
+	if deep && clk.Now() > copyOutStart {
+		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
+	}
 
 	if err := rt.Enclave.EExit(clk, tcs); err != nil {
 		return 0, err
@@ -114,7 +128,7 @@ func (rt *Runtime) ECall(clk *sim.Clock, name string, args ...Arg) (uint64, erro
 		m.Load(clk, avxSaveAddr+uint64(i)*mem.LineSize)
 	}
 	rt.tel.ecallCycles.ObserveSince(callStart, clk.Now())
-	if tr := rt.tel.tracer; tr != nil {
+	if tr != nil {
 		tr.Emit(telemetry.KindEcall, "ecall:"+name, callStart, clk.Since(callStart), 0)
 	}
 	return ret, nil

@@ -61,9 +61,15 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 	// (back into the enclave) — Section 3.3.
 	clk.Advance(ocallMarshalFixed)
 
+	tr := rt.tel.tracer
+	deep := tr.Detailed()
+	stageStart := clk.Now()
 	outer, finish, err := rt.StageOCallArgs(clk, b.decl, args)
 	if err != nil {
 		return 0, err
+	}
+	if deep && clk.Now() > stageStart {
+		tr.Emit(telemetry.KindMarshal, "stage:"+name, stageStart, clk.Since(stageStart), 0)
 	}
 
 	if err := rt.Enclave.EExit(clk, ctx.TCS); err != nil {
@@ -77,7 +83,11 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 		m.Load(clk, osCodeAddr+uint64(i)*mem.LineSize)
 	}
 	rt.ocallStack = append(rt.ocallStack, name)
+	handlerStart := clk.Now()
 	ret := b.fn(&Ctx{Clk: clk, RT: rt}, outer)
+	if deep && clk.Now() > handlerStart {
+		tr.Emit(telemetry.KindHandler, "handler:"+name, handlerStart, clk.Since(handlerStart), 0)
+	}
 	rt.ocallStack = rt.ocallStack[:len(rt.ocallStack)-1]
 
 	if err := rt.Enclave.EResume(clk, ctx.TCS); err != nil {
@@ -87,9 +97,13 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 	// --- Back inside: copy output buffers into the enclave and unwind
 	// the insecure stack.
 	clk.Advance(ocallReturnFixed)
+	copyOutStart := clk.Now()
 	finish()
+	if deep && clk.Now() > copyOutStart {
+		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
+	}
 	rt.tel.ocallCycles.ObserveSince(callStart, clk.Now())
-	if tr := rt.tel.tracer; tr != nil {
+	if tr != nil {
 		tr.Emit(telemetry.KindOcall, "ocall:"+name, callStart, clk.Since(callStart), 0)
 	}
 	return ret, nil

@@ -24,6 +24,15 @@ const (
 	trustedStackLine = 1
 )
 
+// Touched-line totals per leaf instruction, exported for the analytic
+// cost model (internal/profile): a warm crossing's cache component is
+// these counts times mem.DemandHitCost.
+const (
+	EnterTouchLines  = secsLines + tcsLines + ssaLines + trustedCodeLines + trustedStackLine
+	ExitTouchLines   = tcsLines + 2 // TCS plus the saved untrusted context
+	ResumeTouchLines = EnterTouchLines
+)
+
 func (e *Enclave) touchEnclaveEntryState(clk *sim.Clock, tcs *TCS) {
 	m := e.platform.Mem
 	// SECS sits conceptually at the enclave base; TCS pages follow.

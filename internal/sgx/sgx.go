@@ -39,6 +39,15 @@ const (
 	allocCost    = 55 // trusted heap malloc/free bookkeeping
 )
 
+// Exported microcode costs for the analytic cost model (internal/profile):
+// the fixed cycles each leaf instruction charges before memory touches.
+const (
+	EEnterMicrocode  = eenterFixed
+	EExitMicrocode   = eexitFixed
+	EResumeMicrocode = eresumeFixed
+	AEXMicrocode     = aexFixed
+)
+
 // Errors returned by the instruction set.
 var (
 	ErrNotInitialized     = errors.New("sgx: enclave not initialized")

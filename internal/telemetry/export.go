@@ -46,6 +46,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
 			return err
 		}
+		// Interpolated quantiles as companion gauges: Prometheus cannot
+		// aggregate these across instances, but for a single simulated
+		// platform they are exactly the medians the paper reports.
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %d\n",
+				name, q.suffix, name, q.suffix, h.Quantile(q.q)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -79,6 +91,10 @@ func chromeTID(k Kind) int {
 		return 3 // leaf instructions
 	case KindEPCFault, KindEWB:
 		return 4 // paging
+	case KindMemAccess:
+		return 6 // memory operations (deep tracing)
+	case KindMarshal, KindSpin, KindHandler:
+		return 7 // call phases (deep tracing)
 	default:
 		return 5 // MEE
 	}
@@ -86,6 +102,7 @@ func chromeTID(k Kind) int {
 
 var chromeRowNames = map[int]string{
 	1: "sdk calls", 2: "hotcalls", 3: "sgx instructions", 4: "epc paging", 5: "mee",
+	6: "memory", 7: "call phases",
 }
 
 // chromeMetadata is a trace_event metadata record (string-valued args,

@@ -98,6 +98,20 @@ func (r *Registry) EnableTracing(capacity int) *Tracer {
 	return r.tracer
 }
 
+// EnableDeepTracing attaches a detailed-mode tracer: instrumented code
+// emits per-phase (marshal, spin, handler) and per-memory-operation
+// events in addition to the boundary spans, which is what the profiler
+// in internal/profile consumes.  Calling it again replaces the ring.
+func (r *Registry) EnableDeepTracing(capacity int) *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = NewDetailedTracer(capacity)
+	return r.tracer
+}
+
 // Tracer returns the attached tracer, or nil when tracing is disabled or
 // the registry itself is nil.  A nil *Tracer is a valid no-op tracer.
 func (r *Registry) Tracer() *Tracer {

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"math"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	"hotcalls/internal/sim"
 )
 
 func TestNilRegistryIsNoOp(t *testing.T) {
@@ -66,8 +70,16 @@ func TestHistogramBuckets(t *testing.T) {
 	if s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[10] != 2 {
 		t.Fatalf("bucket layout wrong: %v", s.Buckets[:12])
 	}
-	if got := s.Quantile(0.99); got != 1023 {
-		t.Fatalf("p99 upper bound = %d, want 1023", got)
+	// Interpolated quantiles: the p99 rank (3 of 4) is the first of the
+	// two observations in bucket [512,1023], so the midpoint convention
+	// puts it 3/4 of the way through the bucket: 512 + 0.75*511 = 895.
+	if got := s.Quantile(0.99); got != 895 {
+		t.Fatalf("p99 = %d, want 895", got)
+	}
+	// The p50 rank lands at the first quarter of the same bucket —
+	// 639, within one bucket of the true 620.
+	if got := s.Quantile(0.50); got != 639 {
+		t.Fatalf("p50 = %d, want 639", got)
 	}
 	if s.Mean() != 1241.0/4 {
 		t.Fatalf("mean = %f", s.Mean())
@@ -172,7 +184,15 @@ func TestConcurrentWritersAndSnapshot(t *testing.T) {
 				t.Error(err)
 				return
 			}
+			// Race the exporters against live Emit traffic too: the
+			// Chrome trace writer walks the ring under the same lock.
+			sb.Reset()
+			if err := r.WriteChromeTrace(&sb); err != nil {
+				t.Error(err)
+				return
+			}
 			_ = tr.Events()
+			_ = tr.Dropped()
 		}
 	}()
 	wg.Wait()
@@ -262,6 +282,84 @@ func TestMetricsHandler(t *testing.T) {
 	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "memcached_requests_total 42") {
 		t.Fatalf("handler response: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestQuantileMatchesSample cross-checks the log2-bucket interpolated
+// quantiles against exact order statistics (sim.Sample.Percentile) on
+// identical data.  Within-bucket interpolation assumes a uniform spread
+// across the bucket, so uniform data must agree tightly.
+func TestQuantileMatchesSample(t *testing.T) {
+	r := New()
+	h := r.Histogram("xval_cycles")
+	var sample sim.Sample
+	for i := 0; i < 10000; i++ {
+		v := uint64(500 + (i*7919)%1500) // uniform-ish over [500, 2000)
+		h.Observe(v)
+		sample.Add(float64(v))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q float64
+		p float64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}} {
+		got := float64(s.Quantile(tc.q))
+		want := sample.Percentile(tc.p)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Fatalf("q%.0f: histogram %.0f vs exact %.0f (%.1f%% off)", tc.p, got, want, rel*100)
+		}
+	}
+	// Quantiles must be monotone in q and bracketed by the data range.
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+	if lo, hi := s.Quantile(0), s.Quantile(1); lo < 256 || hi > 2047 {
+		t.Fatalf("quantile range [%d, %d] outside data buckets", lo, hi)
+	}
+}
+
+// TestChromeTraceGolden is the export-determinism satellite: the Chrome
+// trace of a fixed event stream must be byte-identical across calls and
+// match the checked-in golden file (set UPDATE_GOLDEN=1 to regenerate).
+func TestChromeTraceGolden(t *testing.T) {
+	r := New()
+	tr := r.EnableDeepTracing(32)
+	tr.Emit(KindEEnter, "eenter", 1820, 3082, 1)
+	tr.Emit(KindMemAccess, "load", 4902, 12, 0)
+	tr.Emit(KindMarshal, "stage:ecall_in", 4914, 356, 0)
+	tr.Emit(KindEcall, "ecall:ecall_in", 0, 9952, 0)
+	tr.Emit(KindSpin, "hotcall-sync", 10000, 540, 0)
+	tr.Emit(KindMEEMiss, "mee-walk", 11000, 0, 3)
+	var a, b strings.Builder
+	if err := r.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Chrome trace export is not deterministic across calls")
+	}
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(a.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if a.String() != string(want) {
+		t.Fatalf("Chrome trace drifted from golden file:\n got: %s\nwant: %s", a.String(), want)
 	}
 }
 

@@ -20,6 +20,10 @@ const (
 	KindEPCFault             // EPC page fault: trap + ELDU (+ EWBs, in Arg)
 	KindEWB                  // EPC eviction write-back
 	KindMEEMiss              // MEE tree-cache miss burst (count in Arg)
+	KindMarshal              // argument staging / copy-out phase of a call
+	KindSpin                 // HotCall shared-memory sync (spin-wait) phase
+	KindHandler              // enclave-side handler body of a HotCall
+	KindMemAccess            // memory operation (MEE extra cycles in Arg)
 )
 
 // String returns the kind's row label for trace viewers.
@@ -49,6 +53,14 @@ func (k Kind) String() string {
 		return "ewb"
 	case KindMEEMiss:
 		return "mee-miss"
+	case KindMarshal:
+		return "marshal"
+	case KindSpin:
+		return "spin"
+	case KindHandler:
+		return "handler"
+	case KindMemAccess:
+		return "mem"
 	}
 	return "event"
 }
@@ -76,6 +88,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	next   uint64 // total events ever emitted
+	detail bool   // deep mode: per-phase and per-memory-access events
 }
 
 // NewTracer returns a tracer holding at most capacity events.
@@ -85,6 +98,22 @@ func NewTracer(capacity int) *Tracer {
 	}
 	return &Tracer{events: make([]Event, capacity)}
 }
+
+// NewDetailedTracer returns a tracer in deep mode: instrumented code
+// additionally emits marshalling, spin-wait, handler, and per-memory-
+// operation events, enough for the profiler (internal/profile) to
+// attribute every cycle of a call.  Deep traces are ~20x denser than the
+// default boundary traces; size the ring accordingly.
+func NewDetailedTracer(capacity int) *Tracer {
+	t := NewTracer(capacity)
+	t.detail = true
+	return t
+}
+
+// Detailed reports whether deep (per-phase, per-memory-access) events
+// should be emitted.  False on a nil or default tracer, so coarse
+// boundary tracing keeps its original event stream.
+func (t *Tracer) Detailed() bool { return t != nil && t.detail }
 
 // Emit records one event.
 func (t *Tracer) Emit(kind Kind, name string, ts, dur, arg uint64) {
