@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead experiments bench-json profile
+.PHONY: check vet build test test-race bench-overhead monitor-overhead experiments bench-json bench-regress profile
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -15,10 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The HotCall protocol and the telemetry registry are the two packages
-# with real cross-goroutine traffic; run them under the race detector.
+# The HotCall protocol, the telemetry registry, and the health monitor
+# are the packages with real cross-goroutine traffic; run them under the
+# race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -28,10 +29,23 @@ bench-overhead:
 experiments:
 	$(GO) run ./cmd/hotbench -experiments-md EXPERIMENTS.md
 
+# monitor-overhead is the instrumented pair for the continuous monitor:
+# the same HotCall loop with and without a live 10ms sampler (<=1%
+# budget, recorded in EXPERIMENTS.md).
+monitor-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkCall(Telemetry|Monitored|TickerControl)|BenchmarkTick' -benchtime 2s -count 5 ./internal/monitor/
+
 # bench-json regenerates the machine-readable results artifact that perf
 # changes diff against.
 bench-json:
 	$(GO) run ./cmd/hotbench -run all -bench-json BENCH_hotcalls.json
+
+# bench-regress is the perf-regression gate: run the full suite into a
+# scratch artifact and diff it against the committed baseline.  Exits
+# non-zero (failing CI) when any metric regressed beyond tolerance.
+bench-regress:
+	$(GO) run ./cmd/hotbench -run all -bench-json bench-candidate.json >/dev/null
+	$(GO) run ./cmd/benchdiff -baseline BENCH_hotcalls.json -candidate bench-candidate.json -md bench-regress.md
 
 # profile runs the microbenchmarks under deep tracing and emits folded
 # flame-graph stacks plus a pprof protobuf.

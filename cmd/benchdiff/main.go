@@ -1,0 +1,79 @@
+// Command benchdiff is the perf-regression gate: it diffs a candidate
+// hotcalls-bench/v1 artifact against a committed baseline under the
+// default tolerance policy, writes a markdown report, and exits 1 when
+// any metric regressed beyond tolerance (or vanished).  `make
+// bench-regress` and CI run it against BENCH_hotcalls.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotcalls/internal/bench"
+	"hotcalls/internal/regress"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hotcalls.json", "committed baseline artifact")
+	candidate := flag.String("candidate", "", "fresh candidate artifact to gate")
+	md := flag.String("md", "", "write the markdown report here ('-' or empty for stdout)")
+	tolerance := flag.Float64("tolerance", 0, "override the default tolerance (percent; 0 keeps the policy default)")
+	flag.Parse()
+
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -candidate is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := loadReport(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	pol := regress.DefaultPolicy()
+	if *tolerance > 0 {
+		pol.DefaultTolerancePct = *tolerance
+	}
+	res := regress.Compare(base, cand, pol)
+
+	out := os.Stdout
+	if *md != "" && *md != "-" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := res.WriteMarkdown(out); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintln(os.Stderr, res.Summary())
+	for _, d := range res.Regressions() {
+		fmt.Fprintf(os.Stderr, "  regressed: %s (%s, %s) %+.2f%% beyond %.1f%% tolerance\n",
+			d.Key, d.Unit, d.Direction, d.ChangePct, d.TolerancePct)
+	}
+	if res.Failed() {
+		os.Exit(1)
+	}
+}
+
+func loadReport(path string) (bench.JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bench.JSONReport{}, err
+	}
+	return regress.Parse(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,8 @@
 //	hotbench -run table1 -trace out.json   # Chrome trace_event JSON
 //	hotbench -run table1 -profile out.folded # cycle-attribution profile
 //	hotbench -run all -bench-json BENCH_hotcalls.json
+//	hotbench -run all -monitor             # health summary + alerts after the run
+//	hotbench -run all -watch               # live monitor table, redrawn in place
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"hotcalls/internal/bench"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/profile"
 	"hotcalls/internal/telemetry"
 )
@@ -50,10 +53,16 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of boundary crossings to this path")
 	profilePath := flag.String("profile", "", "write a cycle-attribution profile: folded flame-graph stacks to this path, pprof protobuf to <path>.pb.gz, breakdown tables to stdout")
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmark results (medians, speedups, metadata) as JSON to this path")
+	monitorFlag := flag.Bool("monitor", false, "run the continuous health monitor during the experiments and print its verdict and alerts afterwards")
+	watch := flag.Bool("watch", false, "like -monitor, but redraw a live sample table in place while experiments run")
 	flag.Parse()
 
+	if *watch {
+		*monitorFlag = true
+	}
+
 	var reg *telemetry.Registry
-	if *metrics || *tracePath != "" || *profilePath != "" {
+	if *metrics || *tracePath != "" || *profilePath != "" || *monitorFlag {
 		reg = telemetry.New()
 		if *profilePath != "" {
 			// Deep tracing feeds both the profiler and -trace.
@@ -94,6 +103,19 @@ func main() {
 		}
 	}
 
+	var mon *monitor.Monitor
+	var watchStop, watchDone chan struct{}
+	if *monitorFlag {
+		mon = monitor.New(reg, monitor.Options{})
+		mon.Tick() // baseline sample so even sub-interval runs show deltas
+		mon.Start()
+		if *watch {
+			watchStop = make(chan struct{})
+			watchDone = make(chan struct{})
+			go watchLoop(mon, watchStop, watchDone)
+		}
+	}
+
 	var reports []*bench.Report
 	for _, e := range experiments {
 		start := time.Now()
@@ -116,6 +138,19 @@ func main() {
 		}
 	}
 
+	if mon != nil {
+		mon.Stop()
+		mon.Tick() // final cumulative sample so short runs still show data
+		if *watch {
+			close(watchStop)
+			<-watchDone
+		}
+		fmt.Println("=== monitor ===")
+		fmt.Print(mon.RenderText(10))
+		if dropped := mon.DroppedEvents(); dropped > 0 {
+			fmt.Printf("(%d older events dropped from the bounded log)\n", dropped)
+		}
+	}
 	if *metrics {
 		fmt.Println("=== metrics (Prometheus text format) ===")
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
@@ -192,5 +227,32 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *benchJSON)
+	}
+}
+
+// watchLoop redraws the live monitor table on stderr twice a second,
+// repainting in place with a cursor-up escape so the experiment output on
+// stdout scrolls past it undisturbed.
+func watchLoop(m *monitor.Monitor, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	prevLines := 0
+	render := func() {
+		if prevLines > 0 {
+			fmt.Fprintf(os.Stderr, "\x1b[%dA\x1b[0J", prevLines)
+		}
+		s := m.RenderText(8)
+		fmt.Fprint(os.Stderr, s)
+		prevLines = strings.Count(s, "\n")
+	}
+	for {
+		select {
+		case <-stop:
+			render()
+			return
+		case <-t.C:
+			render()
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/sim"
 	"hotcalls/internal/telemetry"
 )
@@ -101,5 +102,48 @@ func TestMetricsHandler(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestDebugMux checks /metrics, /debug/health, and /debug/monitor served
+// side by side on the app port after a real workload.
+func TestDebugMux(t *testing.T) {
+	s := NewServer(porting.HotCalls)
+	reg := telemetry.New()
+	s.EnableTelemetry(reg)
+	// App-level HotCalls carry the serviced request work, so the
+	// microbenchmark-tuned p99 objective does not apply here.
+	th := monitor.DefaultThresholds()
+	th.SLOObjectiveP99 = 1 << 20
+	mon := s.EnableMonitor(monitor.Options{Rules: monitor.DefaultRules(th)})
+	mon.Tick() // baseline
+	serveN(t, s, 10)
+	mon.Tick()
+
+	srv := httptest.NewServer(s.DebugMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, telemetry.MetricHotECalls+" 10") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if code, body := get("/debug/health"); code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/debug/health: code %d, body %q", code, body)
+	}
+	if code, body := get("/debug/monitor?format=text"); code != http.StatusOK || !strings.Contains(body, "health: ok") {
+		t.Errorf("/debug/monitor: code %d, body %q", code, body)
 	}
 }

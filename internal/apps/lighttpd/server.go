@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/osapi"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sim"
@@ -86,6 +87,10 @@ type Server struct {
 	// tel holds the per-request telemetry handles (see metrics.go); all
 	// nil (no-op) until EnableTelemetry attaches a registry.
 	tel serverTel
+
+	// mon is the continuous health monitor (see metrics.go); nil until
+	// EnableMonitor.
+	mon *monitor.Monitor
 }
 
 // NewServer boots lighttpd in the given mode and installs the document

@@ -3,6 +3,7 @@ package memcached
 import (
 	"net/http"
 
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
 )
 
@@ -55,4 +56,23 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 // registry serves an empty exposition.
 func (s *Server) MetricsHandler() http.Handler {
 	return telemetry.Handler(s.App.Tel)
+}
+
+// EnableMonitor attaches a continuous health monitor over the server's
+// registry (EnableTelemetry must run first so the registry exists) and
+// returns it; the caller decides whether to Start wall-clock sampling or
+// drive it with Tick.  Idempotent: repeat calls return the same monitor.
+func (s *Server) EnableMonitor(opts monitor.Options) *monitor.Monitor {
+	if s.mon == nil {
+		s.mon = monitor.New(s.App.Tel, opts)
+	}
+	return s.mon
+}
+
+// DebugMux serves the full observability surface on the app port:
+// /metrics (Prometheus exposition), /debug/health (JSON verdict, 503
+// when critical), and /debug/monitor (recent samples + alerts).  It
+// enables the monitor with defaults if EnableMonitor was not called.
+func (s *Server) DebugMux() *http.ServeMux {
+	return monitor.Mux(s.App.Tel, s.EnableMonitor(monitor.Options{}))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sim"
 )
@@ -65,6 +66,10 @@ type Server struct {
 	// tel holds the per-request telemetry handles (see metrics.go); all
 	// nil (no-op) until EnableTelemetry attaches a registry.
 	tel serverTel
+
+	// mon is the continuous health monitor (see metrics.go); nil until
+	// EnableMonitor.
+	mon *monitor.Monitor
 }
 
 // NewServer boots memcached in the given mode: builds the container, binds

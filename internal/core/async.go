@@ -15,9 +15,19 @@ var ErrNotComplete = errors.New("core: async call not complete")
 
 // Pending is a handle to an asynchronous HotCall.
 type Pending struct {
-	h    *HotCall
-	done bool
-	ret  uint64
+	h        *HotCall
+	done     bool
+	released bool
+	ret      uint64
+}
+
+// release decrements the in-flight depth gauge exactly once per Pending,
+// whether the call completed or was abandoned by Stop.
+func (p *Pending) release() {
+	if !p.released {
+		p.released = true
+		p.h.depth.Dec()
+	}
 }
 
 // Submit plants a request without waiting for completion.  It returns
@@ -32,6 +42,7 @@ func (h *HotCall) Submit(id CallID, data interface{}) (*Pending, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	h.requests.Inc()
 	for attempt := 0; attempt < timeout; attempt++ {
 		if h.stopped.Load() {
 			return nil, ErrStopped
@@ -42,6 +53,7 @@ func (h *HotCall) Submit(id CallID, data interface{}) (*Pending, error) {
 				h.data = data
 				h.state = stateRequested
 				h.lock.Unlock()
+				h.depth.Inc()
 				if h.sleeping.Load() {
 					h.wake.Broadcast()
 				}
@@ -51,6 +63,7 @@ func (h *HotCall) Submit(id CallID, data interface{}) (*Pending, error) {
 		}
 		pause()
 	}
+	h.timeouts.Inc()
 	return nil, ErrTimeout
 }
 
@@ -61,6 +74,7 @@ func (p *Pending) Poll() (uint64, error) {
 		return p.ret, nil
 	}
 	if p.h.stopped.Load() {
+		p.release()
 		return 0, ErrStopped
 	}
 	if !p.h.lock.TryLock() {
@@ -75,6 +89,7 @@ func (p *Pending) Poll() (uint64, error) {
 	p.h.data = nil
 	p.h.lock.Unlock()
 	p.done = true
+	p.release()
 	return p.ret, nil
 }
 

@@ -28,6 +28,7 @@ type Channel struct {
 // channelTel is the set of handles the HotCall channel paths touch.
 type channelTel struct {
 	ecalls, ocalls *telemetry.Counter
+	spin           *telemetry.Counter
 	cycles         *telemetry.Histogram
 	tracer         *telemetry.Tracer
 }
@@ -45,6 +46,7 @@ func (ch *Channel) SetTelemetry(reg *telemetry.Registry) {
 	ch.tel = channelTel{
 		ecalls: reg.Counter(telemetry.MetricHotECalls),
 		ocalls: reg.Counter(telemetry.MetricHotOCalls),
+		spin:   reg.Counter(telemetry.MetricSpinCycles),
 		cycles: reg.Histogram(telemetry.MetricHotCallCycles),
 		tracer: reg.Tracer(),
 	}
@@ -78,6 +80,7 @@ func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	// latency.
 	spinStart := clk.Now()
 	clk.AdvanceF(ch.Model.Sample())
+	ch.tel.spin.Add(clk.Since(spinStart))
 	if deep {
 		tr.Emit(telemetry.KindSpin, "hotcall-sync", spinStart, clk.Since(spinStart), 0)
 	}
@@ -126,6 +129,7 @@ func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 	}
 	spinStart := clk.Now()
 	clk.AdvanceF(ch.Model.Sample())
+	ch.tel.spin.Add(clk.Since(spinStart))
 	if deep {
 		tr.Emit(telemetry.KindSpin, "hotcall-sync", spinStart, clk.Since(spinStart), 0)
 	}

@@ -77,14 +77,17 @@ type HotCall struct {
 	requests  *telemetry.Counter
 	timeouts  *telemetry.Counter
 	fallbacks *telemetry.Counter
+	depth     *telemetry.Gauge
 }
 
-// SetTelemetry attaches request/timeout/fallback counters from the
-// registry.  A nil registry detaches (the handles become no-op nils).
+// SetTelemetry attaches request/timeout/fallback counters and the
+// in-flight depth gauge from the registry.  A nil registry detaches (the
+// handles become no-op nils).
 func (h *HotCall) SetTelemetry(reg *telemetry.Registry) {
 	h.requests = reg.Counter(telemetry.MetricHotCallRequests)
 	h.timeouts = reg.Counter(telemetry.MetricHotCallTimeouts)
 	h.fallbacks = reg.Counter(telemetry.MetricHotCallFallbacks)
+	h.depth = reg.Gauge(telemetry.MetricPendingDepth)
 }
 
 // pause yields the processor inside a busy-wait loop — the PAUSE
@@ -129,6 +132,7 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 		h.timeouts.Inc()
 		return 0, ErrTimeout
 	}
+	h.depth.Inc()
 	if h.sleeping.Load() {
 		h.wake.Broadcast()
 	}
@@ -142,11 +146,13 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 				h.state = stateIdle
 				h.data = nil
 				h.lock.Unlock()
+				h.depth.Dec()
 				return ret, nil
 			}
 			h.lock.Unlock()
 		}
 		if h.stopped.Load() {
+			h.depth.Dec()
 			return 0, ErrStopped
 		}
 		pause()
@@ -187,6 +193,21 @@ type Responder struct {
 	polls    atomic.Uint64
 	executes atomic.Uint64
 	sleeps   atomic.Uint64
+
+	// Registry mirrors of the atomics above (nil/no-op when telemetry is
+	// off): the health monitor derives occupancy and spin waste from
+	// their deltas without reaching into the Responder.
+	pollCtr    *telemetry.Counter
+	executeCtr *telemetry.Counter
+	sleepCtr   *telemetry.Counter
+}
+
+// SetTelemetry attaches the responder's poll/execute/sleep counters from
+// the registry.  A nil registry detaches.
+func (r *Responder) SetTelemetry(reg *telemetry.Registry) {
+	r.pollCtr = reg.Counter(telemetry.MetricResponderPolls)
+	r.executeCtr = reg.Counter(telemetry.MetricResponderExecutes)
+	r.sleepCtr = reg.Counter(telemetry.MetricResponderSleeps)
 }
 
 // NewResponder returns a responder for the shared area with the given call
@@ -206,6 +227,7 @@ func (r *Responder) Run() {
 			return
 		}
 		r.polls.Add(1)
+		r.pollCtr.Inc()
 		h.lock.Lock()
 		if h.state == stateRequested {
 			id, data := h.id, h.data
@@ -224,6 +246,7 @@ func (r *Responder) Run() {
 			} else {
 				ret = r.table[id](data)
 				r.executes.Add(1)
+				r.executeCtr.Inc()
 			}
 
 			h.lock.Lock()
@@ -237,6 +260,7 @@ func (r *Responder) Run() {
 		if r.IdleTimeout > 0 && idle >= r.IdleTimeout {
 			// Sleep until a requester signals.
 			r.sleeps.Add(1)
+			r.sleepCtr.Inc()
 			h.sleeping.Store(true)
 			h.wake.Wait(func() bool {
 				h.lock.Lock()

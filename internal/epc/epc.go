@@ -81,9 +81,11 @@ type Manager struct {
 	touches   uint64
 
 	// Telemetry counters (nil when observability is off): faults are
-	// ELDU work, evictions are EWB work.
-	faultCtr *telemetry.Counter
-	evictCtr *telemetry.Counter
+	// ELDU work, evictions are EWB work.  The resident gauge tracks the
+	// current EPC occupancy for the health monitor's thrash detection.
+	faultCtr    *telemetry.Counter
+	evictCtr    *telemetry.Counter
+	residentGge *telemetry.Gauge
 }
 
 // NewManager returns an EPC manager with the given capacity in bytes,
@@ -127,6 +129,8 @@ func (m *Manager) Stats() (touches, faults, evictions uint64) {
 func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
 	m.faultCtr = reg.Counter(telemetry.MetricEPCFaults)
 	m.evictCtr = reg.Counter(telemetry.MetricEPCEvictions)
+	m.residentGge = reg.Gauge(telemetry.MetricEPCResident)
+	m.residentGge.Set(int64(len(m.resident)))
 }
 
 // Touch records an access to a page and returns the paging cost in cycles:
@@ -155,6 +159,7 @@ func (m *Manager) install(page uint64) {
 	st := &pageState{referenced: true, version: m.versions[page]}
 	m.resident[page] = st
 	m.clock = append(m.clock, page)
+	m.residentGge.Set(int64(len(m.resident)))
 }
 
 // evictOne runs the clock (second-chance) algorithm and swaps one victim
@@ -185,6 +190,7 @@ func (m *Manager) evictOne() {
 		m.clock = append(m.clock[:m.hand], m.clock[m.hand+1:]...)
 		m.swapOut(page, st)
 		delete(m.resident, page)
+		m.residentGge.Set(int64(len(m.resident)))
 		return
 	}
 }

@@ -1,0 +1,65 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"hotcalls/internal/telemetry"
+)
+
+// HealthHandler serves the aggregate health verdict as JSON on
+// /debug/health: {"status": "ok" | "degraded" | "critical", ...} with
+// the active alerts and the newest sample.  A critical status is served
+// with 503 so load-balancer probes can act on it without parsing the
+// body; ok and degraded serve 200.
+func HealthHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := m.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == "critical" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+}
+
+// Handler serves the monitor's recent window on /debug/monitor: JSON
+// with the trailing samples and the event log by default, or the
+// human-readable table with ?format=text.  ?n=K bounds the sample count
+// (default 20).
+func Handler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 20
+		if v := req.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(m.RenderText(n)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Health  Health   `json:"health"`
+			Samples []Sample `json:"samples"`
+			Events  []Event  `json:"events"`
+		}{m.Health(), m.Window(n), m.Events()})
+	})
+}
+
+// Mux bundles the full observability surface of a monitored server:
+// /metrics (Prometheus exposition), /debug/health, and /debug/monitor.
+func Mux(reg *telemetry.Registry, m *Monitor) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	mux.Handle("/debug/health", HealthHandler(m))
+	mux.Handle("/debug/monitor", Handler(m))
+	return mux
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/telemetry"
+)
+
+func TestHealthHandler(t *testing.T) {
+	reg := telemetry.New()
+	m := New(reg, Options{})
+	m.Tick()
+
+	rec := httptest.NewRecorder()
+	HealthHandler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy status code = %d", rec.Code)
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %s", h.Status)
+	}
+
+	// Drive it critical: a full-blown fallback storm.
+	bump(reg, telemetry.MetricHotCallRequests, 100)
+	bump(reg, telemetry.MetricHotCallTimeouts, 90)
+	bump(reg, telemetry.MetricHotCallFallbacks, 90)
+	m.Tick()
+	rec = httptest.NewRecorder()
+	HealthHandler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+	if rec.Code != 503 {
+		t.Fatalf("critical health should serve 503, got %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "critical" || len(h.Alerts) == 0 {
+		t.Fatalf("critical health payload: %+v", h)
+	}
+}
+
+func TestMonitorHandler(t *testing.T) {
+	reg := telemetry.New()
+	m := New(reg, Options{})
+	for i := 0; i < 5; i++ {
+		bump(reg, telemetry.MetricHotCallRequests, 10)
+		m.Tick()
+	}
+
+	rec := httptest.NewRecorder()
+	Handler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?n=3", nil))
+	var payload struct {
+		Health  Health   `json:"health"`
+		Samples []Sample `json:"samples"`
+		Events  []Event  `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(payload.Samples))
+	}
+	if payload.Health.Status != "ok" {
+		t.Fatalf("health = %s", payload.Health.Status)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=text", nil))
+	if !strings.Contains(rec.Body.String(), "health: ok") {
+		t.Fatalf("text format body:\n%s", rec.Body.String())
+	}
+}
+
+func TestMux(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter(telemetry.MetricHotCallRequests).Add(7)
+	m := New(reg, Options{})
+	m.Tick()
+	mux := Mux(reg, m)
+	for path, want := range map[string]string{
+		"/metrics":       "hotcall_requests_total 7",
+		"/debug/health":  `"status": "ok"`,
+		"/debug/monitor": `"samples"`,
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 || !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("%s: %d %q", path, rec.Code, rec.Body.String())
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"hotcalls/internal/telemetry"
+)
+
+// Options tunes a Monitor.  The zero value selects the defaults noted on
+// each field.
+type Options struct {
+	// Interval is the sampling period for Start.  Default 250ms.  Tick
+	// ignores it — tests and single-shot callers drive sampling manually.
+	Interval time.Duration
+
+	// RingCap bounds the retained sample window.  Default 256.
+	RingCap int
+
+	// EventCap bounds the retained event log (oldest dropped first).
+	// Default 256.
+	EventCap int
+
+	// Rules is the evaluation set; nil selects
+	// DefaultRules(DefaultThresholds()).
+	Rules []Rule
+
+	// HealthWindow is how many trailing samples an event stays "active"
+	// for in Health().  Default 12.
+	HealthWindow int
+
+	// OnEvent, when set, is invoked synchronously for every emitted
+	// event (after it is logged).  Keep it fast; it runs on the sampling
+	// goroutine.
+	OnEvent func(Event)
+}
+
+func (o *Options) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 250 * time.Millisecond
+	}
+	if o.RingCap <= 0 {
+		o.RingCap = 256
+	}
+	if o.EventCap <= 0 {
+		o.EventCap = 256
+	}
+	if o.HealthWindow <= 0 {
+		o.HealthWindow = 12
+	}
+	if o.Rules == nil {
+		o.Rules = DefaultRules(DefaultThresholds())
+	}
+}
+
+// Monitor owns a sampler, a bounded sample ring, a rule set, and a
+// bounded event log.  Drive it either with Start/Stop (wall-clock
+// sampling on its own goroutine) or with explicit Tick calls
+// (deterministic, for tests and one-shot dumps).  All methods are
+// goroutine-safe.
+type Monitor struct {
+	mu      sync.Mutex
+	sampler *Sampler
+	opts    Options
+
+	samples []Sample // ring, capacity opts.RingCap
+	head    int      // next write position
+	count   int      // valid entries
+
+	events        []Event
+	droppedEvents uint64
+
+	stop    chan struct{}
+	done    chan struct{}
+	running bool
+}
+
+// New returns a monitor over the registry the workload's telemetry is
+// attached to (nil is valid and yields all-zero samples).  It takes no
+// samples until Tick or Start.
+func New(reg *telemetry.Registry, opts Options) *Monitor {
+	opts.fill()
+	return &Monitor{sampler: NewSampler(reg), opts: opts}
+}
+
+// Tick takes one sample, evaluates every rule over the current window,
+// logs emitted events, and returns the sample.
+func (m *Monitor) Tick() Sample {
+	m.mu.Lock()
+	s := m.sampler.Sample(time.Now())
+	if len(m.samples) < m.opts.RingCap {
+		m.samples = append(m.samples, s)
+	} else {
+		m.samples[m.head] = s
+	}
+	m.head = (m.head + 1) % m.opts.RingCap
+	if m.count < m.opts.RingCap {
+		m.count++
+	}
+	window := m.windowLocked(m.count)
+	var fired []Event
+	for _, r := range m.opts.Rules {
+		fired = append(fired, r.Evaluate(window)...)
+	}
+	for _, e := range fired {
+		if len(m.events) >= m.opts.EventCap {
+			copy(m.events, m.events[1:])
+			m.events = m.events[:len(m.events)-1]
+			m.droppedEvents++
+		}
+		m.events = append(m.events, e)
+	}
+	cb := m.opts.OnEvent
+	m.mu.Unlock()
+	if cb != nil {
+		for _, e := range fired {
+			cb(e)
+		}
+	}
+	return s
+}
+
+// windowLocked returns the newest n samples, oldest first.  Callers hold
+// m.mu.
+func (m *Monitor) windowLocked(n int) []Sample {
+	if n > m.count {
+		n = m.count
+	}
+	out := make([]Sample, 0, n)
+	start := m.head - n
+	if start < 0 {
+		start += len(m.samples)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, m.samples[(start+i)%len(m.samples)])
+	}
+	return out
+}
+
+// Window returns the newest n samples, oldest first (all retained
+// samples when n <= 0).
+func (m *Monitor) Window(n int) []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		n = m.count
+	}
+	return m.windowLocked(n)
+}
+
+// Events returns a copy of the retained event log, oldest first.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// DroppedEvents returns how many events were evicted from the bounded
+// log.
+func (m *Monitor) DroppedEvents() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.droppedEvents
+}
+
+// Start begins wall-clock sampling at the configured interval on a new
+// goroutine.  It is a no-op when already running.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = true
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	interval := m.opts.Interval
+	m.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts wall-clock sampling and waits for the sampling goroutine to
+// exit.  The sample ring and event log are retained.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	m.running = false
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Health is the aggregate verdict over the recent window.
+type Health struct {
+	// Status is "ok", "degraded" (active warnings), or "critical".
+	Status string `json:"status"`
+	// Samples is how many samples the monitor has taken in total.
+	Samples int `json:"samples"`
+	// Alerts are the events still inside the health window, oldest
+	// first.
+	Alerts []Event `json:"alerts,omitempty"`
+	// Last is the newest sample, if any.
+	Last *Sample `json:"last,omitempty"`
+}
+
+// Health summarises the monitor: the worst severity among events whose
+// sample is within the trailing HealthWindow samples decides the status.
+func (m *Monitor) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{Status: "ok"}
+	if m.count == 0 {
+		h.Samples = m.sampler.seq
+		return h
+	}
+	w := m.windowLocked(1)
+	last := w[0]
+	h.Last = &last
+	h.Samples = m.sampler.seq
+	cutoff := last.Seq - m.opts.HealthWindow + 1
+	worst := Severity(-1)
+	for _, e := range m.events {
+		if e.Seq < cutoff {
+			continue
+		}
+		h.Alerts = append(h.Alerts, e)
+		if e.Severity > worst {
+			worst = e.Severity
+		}
+	}
+	switch {
+	case worst >= Critical:
+		h.Status = "critical"
+	case worst >= Warning:
+		h.Status = "degraded"
+	}
+	return h
+}

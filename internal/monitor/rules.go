@@ -1,0 +1,315 @@
+package monitor
+
+import (
+	"fmt"
+	"time"
+)
+
+// Severity grades an event: Info is context, Warning is degradation that
+// deserves a look, Critical is an SLO-relevant failure mode in progress.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// Event is one structured finding from a rule evaluation: which rule, how
+// bad, the triggering value against its threshold, and a human-readable
+// diagnosis that names the likely cause and the fix.
+type Event struct {
+	Rule      string    `json:"rule"`
+	Severity  Severity  `json:"severity"`
+	Seq       int       `json:"seq"` // sample the event fired on
+	At        time.Time `json:"at"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	Diagnosis string    `json:"diagnosis"`
+}
+
+// Rule evaluates a window of samples (oldest first, newest last) and
+// returns zero or more events anchored on the newest sample.
+type Rule interface {
+	Name() string
+	Evaluate(window []Sample) []Event
+}
+
+// Thresholds collects every default-rule knob in one place so callers
+// can tune a single struct instead of assembling rules by hand.
+type Thresholds struct {
+	// Fallback storm (responder asleep/overloaded).
+	StormMinAttempts uint64  // ignore intervals with fewer submission attempts
+	StormWarnRate    float64 // timeout-or-fallback fraction → Warning
+	StormCritRate    float64 // → Critical
+
+	// Spin-waste budget (the dedicated polling core's economics).
+	SpinMinPolls      uint64  // ignore intervals with fewer polls
+	SpinWarnOccupancy float64 // occupancy below this → Warning
+	SpinCritOccupancy float64 // → Critical
+	SpinPerCallBudget float64 // simulated sync cycles per HotCall → Warning
+
+	// Latency SLO burn rate (multiwindow).
+	SLOObjectiveP99 uint64  // interval p99 objective in cycles
+	SLOMinCount     uint64  // min latency observations for an interval to count
+	SLOFastWindow   int     // samples in the fast window
+	SLOSlowWindow   int     // samples in the slow window
+	SLOFastBurn     float64 // breaching fraction of the fast window
+	SLOSlowBurn     float64 // breaching fraction of the slow window
+
+	// EPC thrash.
+	EPCWarnEvictions uint64 // interval evictions → Warning
+	EPCCritEvictions uint64 // → Critical
+}
+
+// DefaultThresholds returns the stock tuning.  The latency objective is
+// ~3.3x the paper's 620-cycle HotCall median: comfortably above healthy
+// jitter, far below the ~8,600-cycle fallback ecall that a storm mixes
+// into the distribution.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		StormMinAttempts: 10,
+		StormWarnRate:    0.05,
+		StormCritRate:    0.25,
+
+		SpinMinPolls:      1000,
+		SpinWarnOccupancy: 0.01,
+		SpinCritOccupancy: 0.001,
+		SpinPerCallBudget: 2048,
+
+		SLOObjectiveP99: 2048,
+		SLOMinCount:     8,
+		SLOFastWindow:   3,
+		SLOSlowWindow:   12,
+		SLOFastBurn:     0.67,
+		SLOSlowBurn:     0.25,
+
+		EPCWarnEvictions: 256,
+		EPCCritEvictions: 4096,
+	}
+}
+
+// DefaultRules returns the standard rule set under the given thresholds.
+func DefaultRules(t Thresholds) []Rule {
+	return []Rule{
+		&FallbackStormRule{T: t},
+		&SpinWasteRule{T: t},
+		&LatencySLORule{T: t},
+		&EPCThrashRule{T: t},
+	}
+}
+
+// newest returns the last sample of the window, or nil on an empty one.
+func newest(window []Sample) *Sample {
+	if len(window) == 0 {
+		return nil
+	}
+	return &window[len(window)-1]
+}
+
+// FallbackStormRule detects the paper's explicit operational hazard
+// (Section 4.2, "Preventing starvation"): when the responder sleeps or
+// is overloaded, requesters exhaust their submission attempts and every
+// timed-out HotCall degrades into a regular SDK call — a 13-27x latency
+// cliff that a raw throughput graph hides until saturation.
+type FallbackStormRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *FallbackStormRule) Name() string { return "fallback-storm" }
+
+// Evaluate implements Rule.
+func (r *FallbackStormRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil {
+		return nil
+	}
+	attempts := s.DSubmissions
+	if attempts < r.T.StormMinAttempts {
+		return nil
+	}
+	rate := s.TimeoutRate
+	if s.FallbackRate > rate {
+		rate = s.FallbackRate
+	}
+	if rate < r.T.StormWarnRate {
+		return nil
+	}
+	sev, threshold := Warning, r.T.StormWarnRate
+	if rate >= r.T.StormCritRate {
+		sev, threshold = Critical, r.T.StormCritRate
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: rate, Threshold: threshold,
+		Diagnosis: fmt.Sprintf(
+			"responder asleep or overloaded: %.1f%% of HotCall submission attempts timed out "+
+				"(%d timeouts, %d fallbacks / %d attempts this interval); each fallback trades a "+
+				"~620-cycle HotCall for a ~8,600-cycle SDK ecall — check that the responder "+
+				"goroutine is running, its core is not oversubscribed, and IdleTimeout is not "+
+				"parking it under live traffic",
+			rate*100, s.DTimeouts, s.DFallbacks, attempts),
+	}}
+}
+
+// SpinWasteRule budgets the price of the paper's core-for-latency trade
+// (Section 4.2, "Maximizing utilization"): the dedicated responder core
+// burns cycles on every empty poll, and an occupancy collapse means the
+// burned core is buying nothing.  It also watches the simulated-channel
+// per-call synchronization cycles against a budget — a slow responder
+// pickup inflates every requester's observed latency.
+type SpinWasteRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *SpinWasteRule) Name() string { return "spin-waste" }
+
+// Evaluate implements Rule.
+func (r *SpinWasteRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil {
+		return nil
+	}
+	var events []Event
+	if s.DPolls >= r.T.SpinMinPolls && s.Occupancy < r.T.SpinWarnOccupancy {
+		sev, threshold := Warning, r.T.SpinWarnOccupancy
+		if s.Occupancy < r.T.SpinCritOccupancy {
+			sev, threshold = Critical, r.T.SpinCritOccupancy
+		}
+		wasted := s.DPolls - s.DExecutes
+		events = append(events, Event{
+			Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+			Value: s.Occupancy, Threshold: threshold,
+			Diagnosis: fmt.Sprintf(
+				"responder occupancy %.4f: %d of %d polls found no work this interval; the "+
+					"dedicated polling core is burning its budget idle — share the responder "+
+					"across more requesters or enable IdleTimeout sleeping",
+				s.Occupancy, wasted, s.DPolls),
+		})
+	}
+	if s.DSubmissions > 0 && s.DSpinCycles > 0 {
+		perCall := float64(s.DSpinCycles) / float64(s.DSubmissions)
+		if perCall > r.T.SpinPerCallBudget {
+			events = append(events, Event{
+				Rule: r.Name(), Severity: Warning, Seq: s.Seq, At: s.When,
+				Value: perCall, Threshold: r.T.SpinPerCallBudget,
+				Diagnosis: fmt.Sprintf(
+					"HotCall synchronization averaged %.0f cycles/call this interval (budget %.0f): "+
+						"requesters are spinning long on submission or completion — the responder is "+
+						"slow to pick up work, likely preempted or servicing too many channels",
+					perCall, r.T.SpinPerCallBudget),
+			})
+		}
+	}
+	return events
+}
+
+// LatencySLORule is a multiwindow burn-rate alert on the HotCall
+// interval p99: an interval "burns" when its p99 exceeds the objective.
+// Requiring both a fast window (catches an active regression quickly)
+// and a slow window (suppresses one-interval blips) to burn is the
+// standard fast/slow SLO construction.
+type LatencySLORule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *LatencySLORule) Name() string { return "latency-slo" }
+
+// burning reports whether a sample is eligible and breaches the p99
+// objective.
+func (r *LatencySLORule) burning(s Sample) (eligible, breach bool) {
+	if s.LatencyCount < r.T.SLOMinCount {
+		return false, false
+	}
+	return true, s.LatencyP99 > r.T.SLOObjectiveP99
+}
+
+// burnRate returns the breaching fraction over the last n samples of the
+// window, counting only eligible samples.
+func (r *LatencySLORule) burnRate(window []Sample, n int) (rate float64, eligible int) {
+	start := len(window) - n
+	if start < 0 {
+		start = 0
+	}
+	var breaches int
+	for _, s := range window[start:] {
+		ok, breach := r.burning(s)
+		if !ok {
+			continue
+		}
+		eligible++
+		if breach {
+			breaches++
+		}
+	}
+	if eligible == 0 {
+		return 0, 0
+	}
+	return float64(breaches) / float64(eligible), eligible
+}
+
+// Evaluate implements Rule.
+func (r *LatencySLORule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil {
+		return nil
+	}
+	fast, fastN := r.burnRate(window, r.T.SLOFastWindow)
+	slow, _ := r.burnRate(window, r.T.SLOSlowWindow)
+	if fastN == 0 || fast < r.T.SLOFastBurn {
+		return nil
+	}
+	sev := Warning
+	if slow >= r.T.SLOSlowBurn {
+		sev = Critical
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: float64(s.LatencyP99), Threshold: float64(r.T.SLOObjectiveP99),
+		Diagnosis: fmt.Sprintf(
+			"HotCall p99 %d cycles over the %d-cycle objective; burn rate %.0f%% fast / %.0f%% slow "+
+				"window — sustained tail regression, not a blip (look for fallback storms, EPC "+
+				"thrash, or a preempted responder in the same windows)",
+			s.LatencyP99, r.T.SLOObjectiveP99, fast*100, slow*100),
+	}}
+}
+
+// EPCThrashRule alarms on paging storms: every eviction is an EWB
+// (encrypt + MAC + write-out) and every re-touch an ELDU, the ~40,000x
+// memory-access cliff of the paper's Section 6.3 libquantum discussion.
+// A sustained eviction rate means the working set has outgrown the EPC.
+type EPCThrashRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *EPCThrashRule) Name() string { return "epc-thrash" }
+
+// Evaluate implements Rule.
+func (r *EPCThrashRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || s.DEPCEvicts < r.T.EPCWarnEvictions {
+		return nil
+	}
+	sev, threshold := Warning, r.T.EPCWarnEvictions
+	if s.DEPCEvicts >= r.T.EPCCritEvictions {
+		sev, threshold = Critical, r.T.EPCCritEvictions
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: float64(s.DEPCEvicts), Threshold: float64(threshold),
+		Diagnosis: fmt.Sprintf(
+			"EPC thrash: %d evictions (%d faults) this interval with %d pages resident; the "+
+				"enclave working set has outgrown the EPC, so every spill pays EWB+ELDU "+
+				"sealing — shrink the secure heap or shard the workload across enclaves",
+			s.DEPCEvicts, s.DEPCFaults, s.EPCResident),
+	}}
+}

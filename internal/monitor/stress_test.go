@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/telemetry"
+)
+
+// TestMonitorVsWorkloadRace is the satellite race test, mirroring the
+// PR 2 tracer-vs-exporter pattern: a live HotCall workload hammers the
+// registry from several goroutines while the monitor samples on its own
+// goroutine and HTTP readers pull /debug/health and /debug/monitor
+// concurrently.  Run with -race.
+func TestMonitorVsWorkloadRace(t *testing.T) {
+	reg := telemetry.New()
+	telemetry.RegisterStandard(reg)
+	var hc core.HotCall
+	hc.Timeout = 1 << 20
+	hc.SetTelemetry(reg)
+	r := core.NewResponder(&hc, []func(interface{}) uint64{
+		func(interface{}) uint64 { return 1 },
+	})
+	r.SetTelemetry(reg)
+	var respWG sync.WaitGroup
+	respWG.Add(1)
+	go func() {
+		defer respWG.Done()
+		r.Run()
+	}()
+
+	m := New(reg, Options{Interval: time.Millisecond, RingCap: 16})
+	m.Start()
+
+	const requesters = 4
+	const perRequester = 500
+	var callers sync.WaitGroup
+	for g := 0; g < requesters; g++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			for i := 0; i < perRequester; i++ {
+				if _, err := hc.CallOrFallback(0, nil, func() (uint64, error) { return 0, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+				// Feed the histogram and gauges too, so the sampler's
+				// delta math races against live writers of every type.
+				reg.Histogram(telemetry.MetricHotCallCycles).Observe(uint64(600 + i%64))
+				reg.Gauge(telemetry.MetricEPCResident).Set(int64(i))
+			}
+		}()
+	}
+
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		health := HealthHandler(m)
+		mon := Handler(m)
+		for i := 0; i < 200; i++ {
+			rec := httptest.NewRecorder()
+			health.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+			rec = httptest.NewRecorder()
+			mon.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=text", nil))
+			_ = m.Window(0)
+			_ = m.Events()
+			m.Tick() // manual ticks interleaved with the Start goroutine
+		}
+	}()
+
+	callers.Wait()
+	<-readers
+	hc.Stop()
+	respWG.Wait()
+	m.Stop()
+
+	// The final cumulative view must account for every call.
+	s := m.Tick()
+	if s.Requests != requesters*perRequester {
+		t.Fatalf("requests = %d, want %d", s.Requests, requesters*perRequester)
+	}
+	// Stop is idempotent and Start/Stop can cycle.
+	m.Stop()
+	m.Start()
+	m.Stop()
+}

@@ -1,0 +1,49 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderText renders the monitor's trailing n samples as an aligned
+// table plus the health line and active alerts — the body of both
+// `hotbench -watch` (redrawn in place) and `/debug/monitor?format=text`.
+// The line count is stable for a fixed n once the ring holds n samples,
+// which is what lets the watch loop repaint with a cursor-up escape.
+func (m *Monitor) RenderText(n int) string {
+	var b strings.Builder
+	h := m.Health()
+	fmt.Fprintf(&b, "health: %s", h.Status)
+	if h.Last != nil {
+		fmt.Fprintf(&b, "  (sample %d, depth %d, epc %d pages)",
+			h.Last.Seq, h.Last.PendingDepth, h.Last.EPCResident)
+	}
+	b.WriteByte('\n')
+
+	header := fmt.Sprintf("%5s  %8s  %6s  %6s  %6s  %8s  %8s  %8s  %8s  %8s",
+		"seq", "calls", "fb%", "occ", "mee%", "p50", "p95", "p99", "spin/cl", "epc-ev")
+	b.WriteString(header)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(header)))
+	b.WriteByte('\n')
+	for _, s := range m.Window(n) {
+		fbRate := s.FallbackRate
+		if s.TimeoutRate > fbRate {
+			fbRate = s.TimeoutRate
+		}
+		spinPerCall := 0.0
+		if s.DSubmissions > 0 {
+			spinPerCall = float64(s.DSpinCycles) / float64(s.DSubmissions)
+		}
+		fmt.Fprintf(&b, "%5d  %8d  %6.1f  %6.3f  %6.1f  %8d  %8d  %8d  %8.0f  %8d\n",
+			s.Seq, s.DSubmissions, fbRate*100, s.Occupancy, s.MEEHitRate*100,
+			s.LatencyP50, s.LatencyP95, s.LatencyP99, spinPerCall, s.DEPCEvicts)
+	}
+	if len(h.Alerts) > 0 {
+		b.WriteString("alerts:\n")
+		for _, e := range h.Alerts {
+			fmt.Fprintf(&b, "  [%s] %s: %s\n", e.Severity, e.Rule, e.Diagnosis)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package regress
+
+import "path"
+
+// Policy maps each metric to its direction and tolerance.  Resolution
+// order: the first matching override wins, then the unit's schema
+// default, then the global default.
+type Policy struct {
+	// DefaultTolerancePct is the allowed relative drift for metrics with
+	// no override (percent, absolute value).
+	DefaultTolerancePct float64
+
+	// Overrides are consulted in order; Pattern is a path.Match glob
+	// against the metric key ("<experiment>/<name>" or
+	// "summary/<field>").
+	Overrides []Override
+}
+
+// Override pins direction and/or tolerance for metrics matching a glob.
+type Override struct {
+	Pattern string
+	// ForceDirection makes Direction authoritative; otherwise the unit's
+	// schema default still decides (a tolerance-only override must not
+	// flip a req/s metric to lower-better).
+	ForceDirection bool
+	Direction      Direction
+	TolerancePct   float64 // 0 means inherit the default tolerance
+}
+
+// DefaultPolicy encodes the hotcalls-bench/v1 schema knowledge:
+//
+//   - cycle and time metrics (cycles, ms, us, ns, s) are lower-better;
+//   - rate metrics (req/s, ops/s, x speedups, hit ratios) are
+//     higher-better;
+//   - normalized-throughput fractions ("frac", "ratio") are
+//     higher-better;
+//   - everything else defaults to lower-better, the conservative choice
+//     for a latency-centric artifact.
+//
+// The default tolerance is 3%: the harness is a deterministic simulation
+// (seeded RNG, simulated cycles), so healthy runs reproduce to well
+// under 1%, and 3% keeps the gate quiet across Go version and
+// architecture drift while still catching the 10% class of real
+// regressions.
+func DefaultPolicy() Policy {
+	return Policy{
+		DefaultTolerancePct: 3,
+		Overrides: []Override{
+			// Known-noisy extension curves: closed-loop scheduling at
+			// low concurrency wobbles more than the microbenchmarks.
+			{Pattern: "loadcurve/*", TolerancePct: 6},
+		},
+	}
+}
+
+// higherBetterUnits are the units that regress when they shrink.
+var higherBetterUnits = map[string]bool{
+	"req/s": true, "ops/s": true, "x": true, "GB/s": true, "MB/s": true,
+	"frac": true, "ratio": true, "hit%": true,
+}
+
+// lowerBetterUnits are the units that regress when they grow.
+var lowerBetterUnits = map[string]bool{
+	"cycles": true, "ms": true, "us": true, "ns": true, "s": true,
+	"calls": true, "crossings": true,
+}
+
+// resolve returns the direction and tolerance for a metric key with the
+// given unit.
+func (p Policy) resolve(key, unit string) (Direction, float64) {
+	tol := p.DefaultTolerancePct
+	dir, haveDir := dirOfUnit(unit)
+	for _, o := range p.Overrides {
+		ok, err := path.Match(o.Pattern, key)
+		if err != nil || !ok {
+			continue
+		}
+		if o.TolerancePct > 0 {
+			tol = o.TolerancePct
+		}
+		if o.ForceDirection {
+			dir, haveDir = o.Direction, true
+		}
+		break
+	}
+	if !haveDir {
+		dir = LowerBetter
+	}
+	return dir, tol
+}
+
+// dirOfUnit applies the schema's unit conventions.
+func dirOfUnit(unit string) (Direction, bool) {
+	if higherBetterUnits[unit] {
+		return HigherBetter, true
+	}
+	if lowerBetterUnits[unit] {
+		return LowerBetter, true
+	}
+	return LowerBetter, false
+}

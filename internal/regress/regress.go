@@ -1,0 +1,288 @@
+// Package regress is the machine-checked perf-regression gate over the
+// hotcalls-bench/v1 JSON artifact (BENCH_hotcalls.json): a schema-aware
+// differ that compares a candidate run against a committed baseline with
+// per-metric tolerances and direction-aware better/worse classification,
+// renders a markdown report, and fails (non-zero gate) on any regression
+// beyond tolerance.  `make bench-regress` wires it against the committed
+// baseline; CI runs it on every push so the bench trajectory is a live
+// contract instead of a dead artifact.
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hotcalls/internal/bench"
+)
+
+// Schema is the artifact schema this differ understands.
+const Schema = "hotcalls-bench/v1"
+
+// Direction says which way a metric is allowed to move.
+type Direction int
+
+const (
+	// LowerBetter: latencies, cycle counts — increases regress.
+	LowerBetter Direction = iota
+	// HigherBetter: throughput, speedups — decreases regress.
+	HigherBetter
+	// Neutral: metadata-like values compared only for drift reporting,
+	// never gated.
+	Neutral
+)
+
+// String returns a compact direction marker for reports.
+func (d Direction) String() string {
+	switch d {
+	case LowerBetter:
+		return "lower-better"
+	case HigherBetter:
+		return "higher-better"
+	}
+	return "neutral"
+}
+
+// Class is the verdict for one metric.
+type Class int
+
+const (
+	// Unchanged: within tolerance.
+	Unchanged Class = iota
+	// Improved: beyond tolerance in the good direction.
+	Improved
+	// Regressed: beyond tolerance in the bad direction.
+	Regressed
+	// Added: present only in the candidate.
+	Added
+	// Removed: present only in the baseline — gated, because a silently
+	// vanished metric is how a trajectory goes dead.
+	Removed
+)
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	switch c {
+	case Unchanged:
+		return "unchanged"
+	case Improved:
+		return "improved"
+	case Regressed:
+		return "regressed"
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	}
+	return "unknown"
+}
+
+// Delta is one metric's comparison.
+type Delta struct {
+	Key          string // "<experiment id>/<value name>" or "summary/<field>"
+	Unit         string
+	Base, Cand   float64
+	ChangePct    float64 // signed (cand-base)/base*100; 0 when base is 0
+	Direction    Direction
+	TolerancePct float64
+	Class        Class
+}
+
+// Result is a whole comparison: every metric's delta plus the gate
+// verdict.
+type Result struct {
+	BaseMeta, CandMeta Meta
+	Deltas             []Delta
+}
+
+// Meta is the artifact metadata carried into the report header.
+type Meta struct {
+	GeneratedAt string
+	GoVersion   string
+	MicroRuns   int
+}
+
+// metaOf extracts report metadata.
+func metaOf(r bench.JSONReport) Meta {
+	return Meta{GeneratedAt: r.GeneratedAt, GoVersion: r.GoVersion, MicroRuns: r.MicroRuns}
+}
+
+// Parse decodes and validates a hotcalls-bench/v1 artifact.
+func Parse(data []byte) (bench.JSONReport, error) {
+	var r bench.JSONReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("regress: bad JSON: %w", err)
+	}
+	if r.Schema != Schema {
+		return r, fmt.Errorf("regress: schema %q, want %q", r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// flatten turns a report into key → (value, unit) in deterministic
+// order: the summary block first, then per-experiment values.
+func flatten(r bench.JSONReport) (keys []string, vals map[string]float64, units map[string]string) {
+	vals = make(map[string]float64)
+	units = make(map[string]string)
+	put := func(key string, v float64, unit string) {
+		if _, dup := vals[key]; dup {
+			return // first occurrence wins on duplicate names
+		}
+		keys = append(keys, key)
+		vals[key] = v
+		units[key] = unit
+	}
+	for _, s := range [...]struct {
+		name string
+		v    float64
+		unit string
+	}{
+		{"summary/ecall_warm_median_cycles", r.Summary.EcallWarmMedianCycles, "cycles"},
+		{"summary/ocall_warm_median_cycles", r.Summary.OcallWarmMedianCycles, "cycles"},
+		{"summary/hotcall_median_cycles", r.Summary.HotCallMedianCycles, "cycles"},
+		{"summary/hotcall_vs_ecall_speedup", r.Summary.HotCallVsEcallSpeedup, "x"},
+		{"summary/hotcall_vs_ocall_speedup", r.Summary.HotCallVsOcallSpeedup, "x"},
+	} {
+		if s.v != 0 {
+			put(s.name, s.v, s.unit)
+		}
+	}
+	for _, e := range r.Experiments {
+		for _, v := range e.Values {
+			put(e.ID+"/"+v.Name, v.Got, v.Unit)
+		}
+	}
+	return keys, vals, units
+}
+
+// Compare diffs a candidate run against the baseline under the policy.
+func Compare(base, cand bench.JSONReport, pol Policy) *Result {
+	res := &Result{BaseMeta: metaOf(base), CandMeta: metaOf(cand)}
+	baseKeys, baseVals, baseUnits := flatten(base)
+	candKeys, candVals, candUnits := flatten(cand)
+
+	seen := make(map[string]bool)
+	for _, key := range baseKeys {
+		seen[key] = true
+		d := Delta{Key: key, Unit: baseUnits[key], Base: baseVals[key]}
+		d.Direction, d.TolerancePct = pol.resolve(key, d.Unit)
+		cv, ok := candVals[key]
+		if !ok {
+			d.Class = Removed
+			res.Deltas = append(res.Deltas, d)
+			continue
+		}
+		d.Cand = cv
+		if d.Base != 0 {
+			d.ChangePct = (d.Cand - d.Base) / d.Base * 100
+		}
+		d.Class = classify(d)
+		res.Deltas = append(res.Deltas, d)
+	}
+	for _, key := range candKeys {
+		if seen[key] {
+			continue
+		}
+		d := Delta{Key: key, Unit: candUnits[key], Cand: candVals[key], Class: Added}
+		d.Direction, d.TolerancePct = pol.resolve(key, d.Unit)
+		res.Deltas = append(res.Deltas, d)
+	}
+	return res
+}
+
+// classify applies direction and tolerance to a matched metric.
+func classify(d Delta) Class {
+	if d.Direction == Neutral {
+		return Unchanged
+	}
+	abs := d.ChangePct
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs <= d.TolerancePct {
+		return Unchanged
+	}
+	worse := d.ChangePct > 0
+	if d.Direction == HigherBetter {
+		worse = !worse
+	}
+	if worse {
+		return Regressed
+	}
+	return Improved
+}
+
+// Regressions returns the gated deltas: regressed metrics and removed
+// metrics, worst relative change first.
+func (r *Result) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Class == Regressed || d.Class == Removed {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := out[i].ChangePct, out[j].ChangePct
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		return ai > aj
+	})
+	return out
+}
+
+// Improvements returns the metrics that moved beyond tolerance in the
+// good direction, biggest first.
+func (r *Result) Improvements() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Class == Improved {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := out[i].ChangePct, out[j].ChangePct
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		return ai > aj
+	})
+	return out
+}
+
+// Failed reports whether the gate should exit non-zero.
+func (r *Result) Failed() bool { return len(r.Regressions()) > 0 }
+
+// Counts returns per-class totals for the report summary line.
+func (r *Result) Counts() map[Class]int {
+	out := make(map[Class]int)
+	for _, d := range r.Deltas {
+		out[d.Class]++
+	}
+	return out
+}
+
+// Summary is the one-line human verdict.
+func (r *Result) Summary() string {
+	c := r.Counts()
+	verdict := "PASS"
+	if r.Failed() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: %d metrics compared — %d regressed, %d improved, %d unchanged, %d added, %d removed",
+		verdict, len(r.Deltas), c[Regressed], c[Improved], c[Unchanged], c[Added], c[Removed])
+}
+
+// sanitizeCell escapes the characters that would break a markdown table
+// cell (the bench value names contain no pipes today, but the report
+// must not corrupt if one appears).
+func sanitizeCell(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -1,0 +1,275 @@
+package regress
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/bench"
+)
+
+// fixtureReport builds a small deterministic hotcalls-bench/v1 report
+// covering every direction class the policy knows about.
+func fixtureReport() bench.JSONReport {
+	return bench.JSONReport{
+		Schema:      Schema,
+		GeneratedAt: "2026-08-05T00:00:00Z",
+		GoVersion:   "go1.24.0",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		MicroRuns:   20000,
+		Summary: bench.JSONSummary{
+			EcallWarmMedianCycles: 8640,
+			OcallWarmMedianCycles: 8314,
+			HotCallMedianCycles:   553,
+			HotCallVsEcallSpeedup: 15.62,
+			HotCallVsOcallSpeedup: 15.03,
+		},
+		Experiments: []bench.JSONExperiment{
+			{ID: "table1", Title: "Table 1", Values: []bench.JSONValue{
+				{Name: "Ecall (warm cache)", Got: 8640, Unit: "cycles"},
+				{Name: "Ocall (warm cache)", Got: 8314, Unit: "cycles"},
+			}},
+			{ID: "fig7", Title: "Fig 7", Values: []bench.JSONValue{
+				{Name: "memcached hotcalls", Got: 410000, Unit: "req/s"},
+			}},
+			{ID: "loadcurve", Title: "Load curve", Values: []bench.JSONValue{
+				{Name: "peak throughput", Got: 500000, Unit: "req/s"},
+			}},
+		},
+	}
+}
+
+func mustMarshal(t *testing.T, r bench.JSONReport) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParseValidatesSchema(t *testing.T) {
+	r := fixtureReport()
+	if _, err := Parse(mustMarshal(t, r)); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	r.Schema = "hotcalls-bench/v2"
+	if _, err := Parse(mustMarshal(t, r)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestCommittedBaselineParses pins the committed artifact to the schema
+// the differ understands: if BENCH_hotcalls.json drifts, the gate must
+// fail loudly at parse time, not silently compare nothing.
+func TestCommittedBaselineParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_hotcalls.json"))
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	r, err := Parse(data)
+	if err != nil {
+		t.Fatalf("committed baseline does not parse: %v", err)
+	}
+	keys, _, _ := flatten(r)
+	if len(keys) < 10 {
+		t.Fatalf("baseline flattened to %d metrics, want >= 10", len(keys))
+	}
+	res := Compare(r, r, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("baseline vs itself failed the gate: %s", res.Summary())
+	}
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	base := fixtureReport()
+	res := Compare(base, base, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("identical runs failed: %s", res.Summary())
+	}
+	for _, d := range res.Deltas {
+		if d.Class != Unchanged {
+			t.Fatalf("%s classified %s, want unchanged", d.Key, d.Class)
+		}
+	}
+}
+
+// TestWarmHotCallSlowdownFailsGate is the acceptance test from the
+// issue: inject a synthetic 10% slowdown into the warm-HotCall metric
+// and assert the gate fails with a report naming that metric.
+func TestWarmHotCallSlowdownFailsGate(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Summary.HotCallMedianCycles *= 1.10 // +10%, beyond the 3% tolerance
+
+	res := Compare(base, cand, DefaultPolicy())
+	if !res.Failed() {
+		t.Fatalf("10%% warm-HotCall slowdown passed the gate: %s", res.Summary())
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %d, want exactly 1: %+v", len(regs), regs)
+	}
+	d := regs[0]
+	if d.Key != "summary/hotcall_median_cycles" {
+		t.Fatalf("regressed metric = %q, want summary/hotcall_median_cycles", d.Key)
+	}
+	if d.Direction != LowerBetter || d.Class != Regressed {
+		t.Fatalf("bad classification: %+v", d)
+	}
+	if d.ChangePct < 9.9 || d.ChangePct > 10.1 {
+		t.Fatalf("change = %.2f%%, want ~+10%%", d.ChangePct)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	report := buf.String()
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report lacks FAIL verdict:\n%s", report)
+	}
+	if !strings.Contains(report, "summary/hotcall_median_cycles") {
+		t.Fatalf("report does not name the regressed metric:\n%s", report)
+	}
+	if !strings.Contains(report, "## Regressions") {
+		t.Fatalf("report lacks a regressions section:\n%s", report)
+	}
+}
+
+// TestDirectionAwareness checks both movement directions for both
+// metric polarities.
+func TestDirectionAwareness(t *testing.T) {
+	base := fixtureReport()
+
+	// Throughput drop regresses; throughput gain improves.
+	cand := fixtureReport()
+	cand.Experiments[1].Values[0].Got *= 0.90
+	res := Compare(base, cand, DefaultPolicy())
+	if got := res.Regressions(); len(got) != 1 || got[0].Key != "fig7/memcached hotcalls" {
+		t.Fatalf("req/s drop not gated: %+v", got)
+	}
+	cand.Experiments[1].Values[0].Got = base.Experiments[1].Values[0].Got * 1.10
+	res = Compare(base, cand, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("req/s gain failed the gate: %s", res.Summary())
+	}
+	if imps := res.Improvements(); len(imps) != 1 || imps[0].Key != "fig7/memcached hotcalls" {
+		t.Fatalf("req/s gain not classed improved: %+v", imps)
+	}
+
+	// Cycle drop improves; cycle growth regresses (already covered above).
+	cand = fixtureReport()
+	cand.Summary.HotCallMedianCycles *= 0.90
+	res = Compare(base, cand, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("cycle improvement failed the gate: %s", res.Summary())
+	}
+}
+
+func TestToleranceAbsorbsNoise(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Summary.HotCallMedianCycles *= 1.02 // +2%, inside the 3% default
+	res := Compare(base, cand, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("2%% drift failed the gate: %s", res.Summary())
+	}
+}
+
+// TestLoadcurveOverride checks the glob override: loadcurve metrics get
+// the looser 6% tolerance but keep their unit-derived direction.
+func TestLoadcurveOverride(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Experiments[2].Values[0].Got *= 0.95 // -5% req/s: inside 6%
+	res := Compare(base, cand, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("5%% loadcurve wobble failed the gate: %s", res.Summary())
+	}
+	cand.Experiments[2].Values[0].Got = base.Experiments[2].Values[0].Got * 0.90 // -10%: beyond 6%
+	res = Compare(base, cand, DefaultPolicy())
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "loadcurve/peak throughput" {
+		t.Fatalf("10%% loadcurve drop not gated: %+v", regs)
+	}
+	if regs[0].TolerancePct != 6 {
+		t.Fatalf("tolerance = %.1f, want 6 (override)", regs[0].TolerancePct)
+	}
+	if regs[0].Direction != HigherBetter {
+		t.Fatalf("override flipped direction to %s", regs[0].Direction)
+	}
+}
+
+// TestRemovedMetricGates: a metric that silently vanishes from the
+// candidate must fail the gate.
+func TestRemovedMetricGates(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Experiments = cand.Experiments[:2] // drop loadcurve
+	res := Compare(base, cand, DefaultPolicy())
+	if !res.Failed() {
+		t.Fatalf("removed metric passed the gate: %s", res.Summary())
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Class != Removed || regs[0].Key != "loadcurve/peak throughput" {
+		t.Fatalf("removed metric not gated: %+v", regs)
+	}
+}
+
+// TestAddedMetricDoesNotGate: new coverage is welcome, not a failure.
+func TestAddedMetricDoesNotGate(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Experiments = append(cand.Experiments, bench.JSONExperiment{
+		ID: "fig9", Values: []bench.JSONValue{{Name: "lighttpd hotcalls", Got: 61000, Unit: "req/s"}},
+	})
+	res := Compare(base, cand, DefaultPolicy())
+	if res.Failed() {
+		t.Fatalf("added metric failed the gate: %s", res.Summary())
+	}
+	if c := res.Counts(); c[Added] != 1 {
+		t.Fatalf("added count = %d, want 1", c[Added])
+	}
+}
+
+func TestRegressionsSortedWorstFirst(t *testing.T) {
+	base := fixtureReport()
+	cand := fixtureReport()
+	cand.Summary.HotCallMedianCycles *= 1.05   // +5%
+	cand.Summary.EcallWarmMedianCycles *= 1.50 // +50%
+	res := Compare(base, cand, DefaultPolicy())
+	regs := res.Regressions()
+	if len(regs) < 2 {
+		t.Fatalf("regressions = %d, want >= 2", len(regs))
+	}
+	if regs[0].Key != "summary/ecall_warm_median_cycles" {
+		t.Fatalf("worst regression not first: %+v", regs[0])
+	}
+}
+
+func TestZeroBaseValue(t *testing.T) {
+	base := fixtureReport()
+	base.Experiments[0].Values[0].Got = 0
+	cand := fixtureReport()
+	res := Compare(base, cand, DefaultPolicy())
+	// A zero baseline yields ChangePct 0 → unchanged, never a div-by-zero.
+	for _, d := range res.Deltas {
+		if d.Key == "table1/Ecall (warm cache)" && d.Class != Unchanged {
+			t.Fatalf("zero-base metric classified %s", d.Class)
+		}
+	}
+}
+
+func TestSanitizeCell(t *testing.T) {
+	if got := sanitizeCell("a|b"); got != "a\\|b" {
+		t.Fatalf("sanitizeCell = %q", got)
+	}
+}

@@ -24,6 +24,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedNames(snap.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedNames(snap.Histograms) {
 		h := snap.Histograms[name]
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {

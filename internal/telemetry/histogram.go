@@ -83,6 +83,25 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Sub returns the interval histogram between an earlier snapshot o and
+// this one: per-bucket differences, clamped at zero so a reset or a
+// mismatched pair degrades to an empty interval instead of wrapping.
+// This is how the monitor turns two cumulative snapshots into the
+// latency distribution of just the sampling window.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	for i := range s.Buckets {
+		if s.Buckets[i] > o.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - o.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	if s.Sum > o.Sum {
+		d.Sum = s.Sum - o.Sum
+	}
+	return d
+}
+
 // Merge folds another snapshot into this one.
 func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 	for i := range s.Buckets {

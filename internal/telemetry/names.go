@@ -27,10 +27,22 @@ const (
 	MetricMEENodeHits  = "mee_node_cache_hits_total"
 	MetricMEENodeMiss  = "mee_node_cache_misses_total"
 
+	// Responder busy-wait economics (Section 4.2, "Maximizing
+	// utilization"): every poll burns cycles on the dedicated core;
+	// polls that found no work are the spin waste the monitor budgets.
+	MetricResponderPolls    = "hotcall_responder_polls_total"
+	MetricResponderExecutes = "hotcall_responder_executes_total"
+	MetricResponderSleeps   = "hotcall_responder_sleeps_total"
+	MetricSpinCycles        = "hotcall_spin_cycles_total"
+
 	// Cycle-latency histograms.
 	MetricEcallCycles   = "ecall_cycles"
 	MetricOcallCycles   = "ocall_cycles"
 	MetricHotCallCycles = "hotcall_cycles"
+
+	// Point-in-time gauges.
+	MetricPendingDepth = "hotcall_pending_depth" // in-flight async HotCall requests
+	MetricEPCResident  = "epc_resident_pages"    // pages currently in the EPC
 )
 
 // standardCounters and standardHistograms are the names RegisterStandard
@@ -40,10 +52,16 @@ var standardCounters = []string{
 	MetricHotCallRequests, MetricHotCallTimeouts, MetricHotCallFallbacks,
 	MetricEEnter, MetricEExit, MetricResume, MetricAEX,
 	MetricEPCFaults, MetricEPCEvictions, MetricMEENodeHits, MetricMEENodeMiss,
+	MetricResponderPolls, MetricResponderExecutes, MetricResponderSleeps,
+	MetricSpinCycles,
 }
 
 var standardHistograms = []string{
 	MetricEcallCycles, MetricOcallCycles, MetricHotCallCycles,
+}
+
+var standardGauges = []string{
+	MetricPendingDepth, MetricEPCResident,
 }
 
 // RegisterStandard pre-creates the standard boundary metrics so exports
@@ -54,5 +72,8 @@ func RegisterStandard(r *Registry) {
 	}
 	for _, name := range standardHistograms {
 		r.Histogram(name)
+	}
+	for _, name := range standardGauges {
+		r.Gauge(name)
 	}
 }

@@ -40,6 +40,7 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   *Tracer
 }
@@ -48,6 +49,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -66,6 +68,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.  On a nil
+// registry it returns nil, which is a valid no-op gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named cycle histogram, creating it on first use.
@@ -127,14 +145,16 @@ func (r *Registry) Tracer() *Tracer {
 // safe to read while writers keep going.
 type Snapshot struct {
 	Counters   map[string]uint64
+	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
 }
 
-// Snapshot captures all counters and histograms.  On a nil registry it
-// returns an empty snapshot.
+// Snapshot captures all counters, gauges, and histograms.  On a nil
+// registry it returns an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),
 	}
 	if r == nil {
@@ -145,6 +165,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, c := range r.counters {
 		counters = append(counters, c)
 	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
 	hists := make([]*Histogram, 0, len(r.hists))
 	for _, h := range r.hists {
 		hists = append(hists, h)
@@ -152,6 +176,9 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	for _, c := range counters {
 		snap.Counters[c.name] = c.Load()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.name] = g.Load()
 	}
 	for _, h := range hists {
 		snap.Histograms[h.name] = h.Snapshot()
