@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead experiments bench-json bench-regress profile
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead experiments report bench-json bench-regress profile
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -15,11 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The HotCall protocol, the telemetry registry, and the health monitor
-# are the packages with real cross-goroutine traffic; run them under the
-# race detector.
+# The HotCall protocol, the telemetry registry, the health monitor, and
+# the distribution recorder are the packages with real cross-goroutine
+# traffic; run them under the race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -28,6 +28,21 @@ bench-overhead:
 
 experiments:
 	$(GO) run ./cmd/hotbench -experiments-md EXPERIMENTS.md
+
+# report regenerates the paper-fidelity report (REPORT.md + report.json):
+# the full measurement plan through the high-resolution distribution
+# recorder, diffed against the paper's published numbers.  Exits 1 (and
+# fails CI) when any fidelity metric lands outside its tolerance band.
+# Byte-deterministic: a clean regeneration matches the committed
+# artifacts exactly.
+report:
+	$(GO) run ./cmd/hotreport -md REPORT.md -json report.json
+
+# dist-overhead is the instrumented pair for the distribution recorder:
+# the channel HotEcall path bare vs with a live dist.Set recording every
+# call (<=1% budget, recorded in EXPERIMENTS.md).
+dist-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotECallChannel' -benchtime 2s -count 5 ./internal/core/
 
 # monitor-overhead is the instrumented pair for the continuous monitor:
 # the same HotCall loop with and without a live 10ms sampler (<=1%

@@ -55,7 +55,10 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmark results (medians, speedups, metadata) as JSON to this path")
 	monitorFlag := flag.Bool("monitor", false, "run the continuous health monitor during the experiments and print its verdict and alerts afterwards")
 	watch := flag.Bool("watch", false, "like -monitor, but redraw a live sample table in place while experiments run")
+	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
+
+	bench.SetSeed(*seed)
 
 	if *watch {
 		*monitorFlag = true

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/dist"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/osapi"
 	"hotcalls/internal/sdk"
@@ -91,6 +92,10 @@ type Server struct {
 	// mon is the continuous health monitor (see metrics.go); nil until
 	// EnableMonitor.
 	mon *monitor.Monitor
+
+	// reqDist records the full per-request latency distribution; nil
+	// (one branch per request) until EnableDistribution.
+	reqDist *dist.Recorder
 }
 
 // NewServer boots lighttpd in the given mode and installs the document
@@ -340,6 +345,7 @@ func (s *Server) ServeOne(clk *sim.Clock) {
 	}
 	s.tel.requests.Inc()
 	s.tel.reqCycles.ObserveSince(start, clk.Now())
+	s.reqDist.Record(clk.Since(start))
 	s.tel.crossings.Observe(s.tel.boundaryCount() - crossed)
 }
 

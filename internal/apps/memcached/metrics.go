@@ -3,6 +3,7 @@ package memcached
 import (
 	"net/http"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
 )
@@ -50,6 +51,11 @@ func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
 		hotOcalls: reg.Counter(telemetry.MetricHotOCalls),
 	}
 }
+
+// EnableDistribution attaches (or, with nil, detaches) a high-resolution
+// recorder for per-request latency — the report's request-latency
+// percentile tables come from here rather than the coarse log2 histogram.
+func (s *Server) EnableDistribution(r *dist.Recorder) { s.reqDist = r }
 
 // MetricsHandler serves the attached registry in Prometheus text format
 // (the /metrics endpoint).  Usable even before EnableTelemetry: a nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/dist"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sim"
@@ -70,6 +71,10 @@ type Server struct {
 	// mon is the continuous health monitor (see metrics.go); nil until
 	// EnableMonitor.
 	mon *monitor.Monitor
+
+	// reqDist records the full per-request latency distribution; nil
+	// (one branch per request) until EnableDistribution.
+	reqDist *dist.Recorder
 }
 
 // NewServer boots memcached in the given mode: builds the container, binds
@@ -200,6 +205,7 @@ func (s *Server) ServeOne(clk *sim.Clock) {
 	}
 	s.tel.requests.Inc()
 	s.tel.reqCycles.ObserveSince(start, clk.Now())
+	s.reqDist.Record(clk.Since(start))
 	s.tel.crossings.Observe(s.tel.boundaryCount() - crossed)
 }
 

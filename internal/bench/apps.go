@@ -131,7 +131,7 @@ func runTable2() *Report {
 		switch app {
 		case "memcached":
 			s := memcached.NewServer(porting.SGX)
-			w := memcached.NewWorkload(s, 77)
+			w := memcached.NewWorkload(s, seedFor(77))
 			s.App.ResetCounters()
 			m := porting.RunClosedLoop(memcached.Outstanding, sim.Cycles(appSimSeconds), func(clk *sim.Clock) {
 				w.InjectNext()

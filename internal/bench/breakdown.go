@@ -34,7 +34,7 @@ func runBreakdown() *Report {
 		{"memcached", func(mode porting.Mode) (*porting.Profile, uint64, uint64) {
 			s := memcached.NewServer(mode)
 			prof := s.App.EnableProfile()
-			w := memcached.NewWorkload(s, 17)
+			w := memcached.NewWorkload(s, seedFor(17))
 			var clk sim.Clock
 			const n = 2000
 			for i := 0; i < n; i++ {

@@ -14,7 +14,7 @@ import (
 // a 13-27x improvement over the SDK mechanism.
 func runFig3() *Report {
 	r := &Report{ID: "fig3", Title: "Figure 3: CDF of HotCall latency", CSV: map[string]string{}}
-	rng := sim.NewRNG(131)
+	rng := sim.NewRNG(seedFor(131))
 	model := core.NewLatencyModel(rng)
 	// Feed the harness registry so a -metrics dump covers the HotCall
 	// path too (nil-safe handles when telemetry is off).

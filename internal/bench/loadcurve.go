@@ -25,7 +25,7 @@ func runLoadCurve() *Report {
 	for _, outstanding := range []int{25, 50, 100, 200, 400} {
 		for _, mode := range []porting.Mode{porting.SGX, porting.HotCallsNRZ} {
 			s := memcached.NewServer(mode)
-			w := memcached.NewWorkload(s, 313)
+			w := memcached.NewWorkload(s, seedFor(313))
 			m := porting.RunClosedLoop(outstanding, sim.Cycles(0.02), func(clk *sim.Clock) {
 				w.InjectNext()
 				s.ServeOne(clk)

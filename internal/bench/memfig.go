@@ -13,7 +13,7 @@ import (
 // protocol: evict the target, run the access pattern, median over many
 // runs.
 func memMedian(runs int, setup func(s *mem.System), op func(s *mem.System, clk *sim.Clock)) float64 {
-	rng := sim.NewRNG(211)
+	rng := sim.NewRNG(seedFor(211))
 	s := mem.New(rng)
 	return sim.MeasureN(rng, runs, func() uint64 {
 		setup(s)
@@ -141,7 +141,7 @@ func runFig8() *Report {
 	add("S miss (cache store miss)", mse/msp, 575.0/481, "1.20x")
 
 	for _, k := range spec.Kernels {
-		res := k.Run(301, 3)
+		res := k.Run(seedFor(301), 3)
 		paper, paperStr := 0.0, "-"
 		switch k.Name {
 		case "mcf":

@@ -38,7 +38,7 @@ type microFixture struct {
 }
 
 func newMicroFixture(seed uint64) *microFixture {
-	p := sgx.NewPlatform(seed)
+	p := sgx.NewPlatform(seedFor(seed))
 	var clk sim.Clock
 	e := p.ECreate(&clk, 64<<20, 4, sgx.Attributes{})
 	for i := 0; i < 4; i++ {

@@ -1,0 +1,334 @@
+package bench
+
+// This file collects the raw measurements behind REPORT.md — the paper's
+// full measurement plan re-run with the high-resolution distribution
+// recorder (internal/dist) attached to the production instrumentation
+// hooks, rather than with the sample arrays the table experiments use.
+// Rendering and the fidelity comparison live in internal/report, which
+// sits above both this package and internal/regress (regress imports
+// bench, so the comparison cannot run here without a cycle).
+
+import (
+	"fmt"
+
+	"hotcalls/internal/apps/lighttpd"
+	"hotcalls/internal/apps/memcached"
+	"hotcalls/internal/apps/porting"
+	"hotcalls/internal/core"
+	"hotcalls/internal/dist"
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/sim"
+)
+
+// ReportConfig sizes one report run.  The zero value means "paper scale":
+// the defaults reproduce the committed REPORT.md byte for byte.
+type ReportConfig struct {
+	Seed         uint64  // base seed (sim.DefaultSeed reproduces the baseline)
+	WarmRuns     int     // per warm series; default microRuns (20,000)
+	ColdRuns     int     // per cold series; default microRuns/4
+	AppSeconds   float64 // simulated seconds per application point; default appSimSeconds
+	ReservoirCap int     // raw samples kept per series; default dist.DefaultReservoirCap
+}
+
+// WithDefaults fills unset fields with the paper-scale values.
+func (c ReportConfig) WithDefaults() ReportConfig {
+	if c.WarmRuns <= 0 {
+		c.WarmRuns = microRuns
+	}
+	if c.ColdRuns <= 0 {
+		c.ColdRuns = microRuns / 4
+	}
+	if c.AppSeconds <= 0 {
+		c.AppSeconds = appSimSeconds
+	}
+	if c.ReservoirCap <= 0 {
+		c.ReservoirCap = dist.DefaultReservoirCap
+	}
+	return c
+}
+
+// CallSeries is one measured latency distribution.
+type CallSeries struct {
+	Name string
+	Snap dist.Snapshot
+}
+
+// SweepPoint is one buffer size of the Figure 6/7 read/write sweep.
+type SweepPoint struct {
+	KB               uint64
+	ReadPlain        float64
+	ReadEnc          float64
+	ReadOverheadPct  float64
+	PaperReadPct     float64 // Figure 6's published overhead
+	WritePlain       float64
+	WriteEnc         float64
+	WriteOverheadPct float64
+}
+
+// AppPoint is one application x mode throughput measurement.
+type AppPoint struct {
+	App        string
+	Mode       porting.Mode
+	Throughput float64
+	Paper      float64
+	Unit       string
+}
+
+// ReportData is everything the report renders: the six call-latency
+// distributions, the EENTER/EEXIT leaf distributions, the buffer sweep,
+// and the application runs.
+type ReportData struct {
+	Cfg        ReportConfig
+	Calls      []CallSeries // ecall/ocall/hotecall x warm/cold, paper order
+	Leaves     []CallSeries // eenter/eexit leaves of the warm-ecall run
+	Sweep      []SweepPoint
+	Apps       []AppPoint
+	AppLatency []CallSeries // per-request latency under HotCalls
+}
+
+// CollectReport runs the full measurement plan.  Every stream seed
+// derives from cfg.Seed through sim.SeedMix, so two runs with the same
+// config produce identical data.
+func CollectReport(cfg ReportConfig) *ReportData {
+	cfg = cfg.WithDefaults()
+	SetSeed(cfg.Seed)
+	d := &ReportData{Cfg: cfg}
+
+	for _, kind := range []dist.Kind{dist.Ecall, dist.Ocall, dist.HotEcall} {
+		for _, temp := range []dist.Temp{dist.Warm, dist.Cold} {
+			set := measureCallDist(cfg, kind, temp)
+			d.Calls = append(d.Calls, CallSeries{
+				Name: dist.SeriesName(kind, temp),
+				Snap: set.Recorder(kind, temp).Snapshot(),
+			})
+			if kind == dist.Ecall && temp == dist.Warm {
+				// The warm-ecall run also exercises the leaf hooks: each
+				// crossing is one EENTER and one EEXIT.
+				d.Leaves = append(d.Leaves,
+					CallSeries{Name: "eenter_warm", Snap: set.Recorder(dist.EEnterLeaf, dist.Warm).Snapshot()},
+					CallSeries{Name: "eexit_warm", Snap: set.Recorder(dist.EExitLeaf, dist.Warm).Snapshot()},
+				)
+			}
+		}
+	}
+
+	for _, kb := range []uint64{2, 4, 8, 16, 32} {
+		size := kb << 10
+		rp, re := readMedian(plainBuf, size), readMedian(enclaveBuf, size)
+		wp, we := writeMedian(plainBuf, size), writeMedian(enclaveBuf, size)
+		d.Sweep = append(d.Sweep, SweepPoint{
+			KB: kb,
+			ReadPlain: rp, ReadEnc: re,
+			ReadOverheadPct: (re - rp) / rp * 100,
+			PaperReadPct:    paperReadOverheads[kb],
+			WritePlain:      wp, WriteEnc: we,
+			WriteOverheadPct: (we - wp) / wp * 100,
+		})
+	}
+
+	for _, app := range []string{"memcached", "lighttpd"} {
+		for _, mode := range porting.Modes {
+			var thr float64
+			switch app {
+			case "memcached":
+				thr = memcached.Run(mode, cfg.AppSeconds).Throughput
+			case "lighttpd":
+				thr = lighttpd.Run(mode, cfg.AppSeconds).Throughput
+			}
+			d.Apps = append(d.Apps, AppPoint{
+				App: app, Mode: mode,
+				Throughput: thr,
+				Paper:      paperApps[app][mode].throughput,
+				Unit:       appUnit(app),
+			})
+		}
+		d.AppLatency = append(d.AppLatency, CallSeries{
+			Name: app + "_hotcalls_request",
+			Snap: appRequestDist(app, cfg),
+		})
+	}
+	return d
+}
+
+// measureCallDist measures one (kind, temperature) series on a fresh
+// fixture with the distribution set attached to the production hooks.
+// The fixture is warmed up with the set detached, so start-up transients
+// cannot pollute the recorded tail; cold series evict the cache hierarchy
+// before every call (warm-up included), matching Table 1's protocol.
+func measureCallDist(cfg ReportConfig, kind dist.Kind, temp dist.Temp) *dist.Set {
+	runs := cfg.WarmRuns
+	if temp == dist.Cold {
+		runs = cfg.ColdRuns
+	}
+	set := dist.NewSet(cfg.ReservoirCap)
+	set.SetTemp(temp)
+
+	var (
+		f    *microFixture
+		ch   *core.Channel
+		call func()
+	)
+	switch kind {
+	case dist.Ecall:
+		f = newMicroFixture(141)
+		call = func() {
+			if temp == dist.Cold {
+				f.p.Mem.EvictAll()
+			}
+			var clk sim.Clock
+			if _, err := f.rt.ECall(&clk, "ecall_empty"); err != nil {
+				panic(err)
+			}
+		}
+	case dist.Ocall:
+		// Ocalls issue from inside a driver ecall, as in measureOcall;
+		// only the Ocall recorder is read, so the driver's own ecall
+		// observations do not mix in.
+		f = newMicroFixture(151)
+		f.rt.MustBindECall("ecall_driver", func(ctx *sdk.Ctx, _ []sdk.Arg) uint64 {
+			if temp == dist.Cold {
+				f.p.Mem.EvictAll()
+			}
+			if _, err := ctx.OCall("ocall_empty"); err != nil {
+				panic(err)
+			}
+			return 0
+		})
+		call = func() {
+			var clk sim.Clock
+			if _, err := f.rt.ECall(&clk, "ecall_driver"); err != nil {
+				panic(err)
+			}
+		}
+	case dist.HotEcall:
+		f = newMicroFixture(161)
+		ch = core.NewChannel(f.rt, sim.NewRNG(seedFor(163)))
+		call = func() {
+			if temp == dist.Cold {
+				f.p.Mem.EvictAll()
+			}
+			var clk sim.Clock
+			if _, err := ch.HotECall(&clk, "ecall_empty"); err != nil {
+				panic(err)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("bench: no report series for kind %v", kind))
+	}
+
+	for i := 0; i < 50; i++ {
+		call()
+	}
+	f.p.SetDistribution(set)
+	f.rt.SetDistribution(set)
+	if ch != nil {
+		ch.SetDistribution(set)
+	}
+	for i := 0; i < runs; i++ {
+		call()
+	}
+	return set
+}
+
+// appRequestDist runs one application under HotCalls with the per-request
+// distribution recorder enabled and returns the request-latency snapshot.
+func appRequestDist(app string, cfg ReportConfig) dist.Snapshot {
+	rec := dist.NewRecorder(cfg.ReservoirCap)
+	switch app {
+	case "memcached":
+		s := memcached.NewServer(porting.HotCalls)
+		s.EnableDistribution(rec)
+		w := memcached.NewWorkload(s, seedFor(77))
+		porting.RunClosedLoop(memcached.Outstanding, sim.Cycles(cfg.AppSeconds), func(clk *sim.Clock) {
+			w.InjectNext()
+			s.ServeOne(clk)
+			if _, err := w.DrainResponse(); err != nil {
+				panic(err)
+			}
+		})
+	case "lighttpd":
+		s := lighttpd.NewServer(porting.HotCalls)
+		s.EnableDistribution(rec)
+		porting.RunClosedLoop(lighttpd.Outstanding, sim.Cycles(cfg.AppSeconds), func(clk *sim.Clock) {
+			client := s.InjectRequest("/")
+			s.ServeOne(clk)
+			for {
+				if _, ok := s.App.Kernel.TakeRX(client); !ok {
+					break
+				}
+			}
+		})
+	default:
+		panic("bench: no request distribution for app " + app)
+	}
+	return rec.Snapshot()
+}
+
+// Snapshot returns one named call series, or a zero snapshot.
+func (d *ReportData) Snapshot(name string) dist.Snapshot {
+	for _, lists := range [][]CallSeries{d.Calls, d.Leaves, d.AppLatency} {
+		for _, s := range lists {
+			if s.Name == name {
+				return s.Snap
+			}
+		}
+	}
+	return dist.Snapshot{}
+}
+
+// FidelityPair builds the synthetic baseline/candidate artifact pair the
+// fidelity gate diffs: one experiment with ID "fidelity" whose baseline
+// values are the paper's published numbers and whose candidate values are
+// this run's measurements.  internal/regress flattens these to
+// "fidelity/<metric>" keys, which PaperFidelityPolicy's overrides match.
+func (d *ReportData) FidelityPair() (base, cand JSONReport) {
+	med := func(name string) float64 { return d.Snapshot(name).Quantile(0.5) }
+	thr := func(app string, mode porting.Mode) float64 {
+		for _, a := range d.Apps {
+			if a.App == app && a.Mode == mode {
+				return a.Throughput
+			}
+		}
+		return 0
+	}
+	vals := []Value{
+		{Name: "ecall_warm_median_cycles", Got: med("ecall_warm"), Paper: 8640, Unit: "cycles"},
+		{Name: "ecall_cold_median_cycles", Got: med("ecall_cold"), Paper: 14170, Unit: "cycles"},
+		{Name: "ocall_warm_median_cycles", Got: med("ocall_warm"), Paper: 8314, Unit: "cycles"},
+		{Name: "ocall_cold_median_cycles", Got: med("ocall_cold"), Paper: 14160, Unit: "cycles"},
+		{Name: "hotcall_median_cycles", Got: med("hotecall_warm"), Paper: 620, Unit: "cycles"},
+		// The paper states Figure 3 as fractions ("over 78% below 620
+		// cycles, 99.97% within 1,400"); gate on the same form — the
+		// p99.97 order statistic itself is the top handful of samples
+		// and too seed-sensitive to gate on.
+		{Name: "hotcall_frac_below_620_pct", Got: d.Snapshot("hotecall_warm").FractionBelow(620) * 100, Paper: 78, Unit: "%"},
+		{Name: "hotcall_frac_below_1400_pct", Got: d.Snapshot("hotecall_warm").FractionBelow(1400) * 100, Paper: 99.97, Unit: "%"},
+		{Name: "hotcall_vs_ecall_speedup", Got: med("ecall_warm") / med("hotecall_warm"), Paper: 8640.0 / 620, Unit: "x"},
+		{Name: "hotcall_vs_ocall_speedup", Got: med("ocall_warm") / med("hotecall_warm"), Paper: 8314.0 / 620, Unit: "x"},
+	}
+	var writeSum float64
+	for _, p := range d.Sweep {
+		vals = append(vals, Value{
+			Name: fmt.Sprintf("read_overhead_%dkb_pct", p.KB),
+			Got:  p.ReadOverheadPct, Paper: p.PaperReadPct, Unit: "%",
+		})
+		writeSum += p.WriteOverheadPct
+	}
+	if n := len(d.Sweep); n > 0 {
+		vals = append(vals, Value{Name: "write_overhead_mean_pct", Got: writeSum / float64(n), Paper: 6, Unit: "%"})
+	}
+	vals = append(vals,
+		Value{Name: "memcached_hotcalls_speedup", Got: thr("memcached", porting.HotCalls) / thr("memcached", porting.SGX), Paper: 162000.0 / 66500, Unit: "x"},
+		Value{Name: "lighttpd_hotcalls_speedup", Got: thr("lighttpd", porting.HotCalls) / thr("lighttpd", porting.SGX), Paper: 40400.0 / 12100, Unit: "x"},
+	)
+
+	be := JSONExperiment{ID: "fidelity", Title: "paper fidelity"}
+	ce := JSONExperiment{ID: "fidelity", Title: "paper fidelity"}
+	for _, v := range vals {
+		be.Values = append(be.Values, JSONValue{Name: v.Name, Got: v.Paper, Unit: v.Unit})
+		ce.Values = append(ce.Values, JSONValue{Name: v.Name, Got: v.Got, Paper: v.Paper, Unit: v.Unit})
+	}
+	base = JSONReport{Schema: "hotcalls-bench/v1", Experiments: []JSONExperiment{be}}
+	cand = JSONReport{Schema: "hotcalls-bench/v1", Experiments: []JSONExperiment{ce}}
+	return base, cand
+}

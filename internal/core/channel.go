@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hotcalls/internal/dist"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/sim"
 	"hotcalls/internal/telemetry"
@@ -23,6 +24,10 @@ type Channel struct {
 	// tel caches the channel's telemetry handles; all nil (no-op) until
 	// SetTelemetry attaches a registry.
 	tel channelTel
+
+	// dist records full-resolution per-call latency distributions; nil
+	// (one branch per call) until SetDistribution attaches a set.
+	dist *dist.Set
 }
 
 // channelTel is the set of handles the HotCall channel paths touch.
@@ -51,6 +56,11 @@ func (ch *Channel) SetTelemetry(reg *telemetry.Registry) {
 		tracer: reg.Tracer(),
 	}
 }
+
+// SetDistribution attaches (or, with nil, detaches) the high-resolution
+// distribution set.  Each completed HotCall records its requester-observed
+// round-trip cycles under the set's current temperature label.
+func (ch *Channel) SetDistribution(d *dist.Set) { ch.dist = d }
 
 // HotOCall performs an out-call through the HotCalls interface: the
 // trusted side marshals with the SDK-generated code, signals the request
@@ -100,6 +110,7 @@ func (ch *Channel) HotOCall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
 	}
 	ch.tel.cycles.ObserveSince(callStart, clk.Now())
+	ch.dist.Observe(dist.HotOcall, clk.Since(callStart))
 	if tr != nil {
 		tr.Emit(telemetry.KindHotOCall, "hotocall:"+name, callStart, clk.Since(callStart), 0)
 	}
@@ -149,6 +160,7 @@ func (ch *Channel) HotECall(clk *sim.Clock, name string, args ...sdk.Arg) (uint6
 		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
 	}
 	ch.tel.cycles.ObserveSince(callStart, clk.Now())
+	ch.dist.Observe(dist.HotEcall, clk.Since(callStart))
 	if tr != nil {
 		tr.Emit(telemetry.KindHotECall, "hotecall:"+name, callStart, clk.Since(callStart), 0)
 	}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"hotcalls/internal/dist"
+	"hotcalls/internal/sim"
+)
+
+// benchHotECall drives b.N empty HotEcalls through the channel — the
+// full simulated protocol: staging, sync-latency sample, handler,
+// copy-out — with whatever instrumentation the caller attached.
+func benchHotECall(b *testing.B, ch *Channel) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var clk sim.Clock
+		if _, err := ch.HotECall(&clk, "ecall_empty"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotECallChannel is the bare baseline: no distribution set
+// attached, the Observe hook is a single nil check.
+func BenchmarkHotECallChannel(b *testing.B) {
+	f := newChanFixture(b)
+	benchHotECall(b, f.ch)
+}
+
+// BenchmarkHotECallChannelDist measures the same path with a live
+// dist.Set recording every call: one bucket atomic add, one sequence
+// add, and a 1-in-stride reservoir append.  The acceptance budget is 1%
+// over BenchmarkHotECallChannel (measured deltas in EXPERIMENTS.md,
+// "Distribution recorder overhead"); if the pair drifts past that, the
+// Record fast path has grown — fix it rather than shipping the
+// regression.
+func BenchmarkHotECallChannelDist(b *testing.B) {
+	f := newChanFixture(b)
+	f.ch.SetDistribution(dist.NewSet(0))
+	benchHotECall(b, f.ch)
+}

@@ -1,0 +1,356 @@
+// Package dist is the full-distribution latency layer under the
+// paper-fidelity report: an HDR-style sub-bucketed log-linear histogram
+// with ~1% relative error over the whole uint64 cycle range, plus a
+// bounded deterministic reservoir of raw per-call samples for exact order
+// statistics.  It hooks the same call-boundary points as
+// internal/telemetry (sgx leaf instructions, SDK ecall/ocall, the
+// HotCalls channel) but keeps enough resolution to regenerate the paper's
+// CDF figures, where the coarse log2 telemetry histogram can only bound a
+// percentile to within a power of two.
+//
+// The hot path (Record) is two atomic adds plus a branch; the reservoir
+// takes its mutex only on the 1-in-stride samples it keeps, so the
+// instrumented-vs-bare benchmark pair stays within the 1% budget
+// (BenchmarkHotECallChannel / BenchmarkHotECallChannelDist).
+package dist
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Log-linear bucket layout: subBits low-order bits of linear resolution
+// inside every power-of-two binade.  Values below subCount are exact
+// (their own bucket); above, each binade splits into subCount equal-width
+// sub-buckets, so the worst-case midpoint error is 1/(2*subCount) ≈ 0.8%
+// of the value — inside the ~1% budget the report needs.
+const (
+	subBits  = 6
+	subCount = 1 << subBits
+
+	// NumBuckets covers the full uint64 range: subCount exact buckets
+	// plus (64-subBits) binades of subCount sub-buckets each.
+	NumBuckets = (64-subBits)<<subBits + subCount
+)
+
+// indexOf maps a value to its bucket.
+func indexOf(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	return (exp-subBits+1)<<subBits + int((v>>uint(exp-subBits))&(subCount-1))
+}
+
+// BucketLow returns the smallest value that falls in bucket i.
+func BucketLow(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	exp := i>>subBits + subBits - 1
+	return 1<<uint(exp) | uint64(i&(subCount-1))<<uint(exp-subBits)
+}
+
+// BucketHigh returns the largest value that falls in bucket i.
+func BucketHigh(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	exp := i>>subBits + subBits - 1
+	return BucketLow(i) + 1<<uint(exp-subBits) - 1
+}
+
+// bucketMid is the interpolation point reported for bucket i.
+func bucketMid(i int) float64 {
+	return (float64(BucketLow(i)) + float64(BucketHigh(i))) / 2
+}
+
+// Recorder accumulates one labelled latency series.  Record is safe for
+// concurrent use; a nil *Recorder is a valid disabled recorder.  The
+// reservoir keeps every stride-th sample (stride a power of two that
+// doubles whenever the bounded buffer fills), which is fully
+// deterministic for a single writer — the report's measurement loops are
+// single-threaded, so two runs under the same seed keep identical raw
+// samples.  Concurrent writers stay safe but may interleave the kept
+// subsequence differently.
+type Recorder struct {
+	counts []atomic.Uint64 // NumBuckets
+	seen   atomic.Uint64
+	stride atomic.Uint64 // power of two; sample kept when (seq-1)%stride == 0
+
+	mu   sync.Mutex
+	kept []uint64
+	cap  int
+}
+
+// DefaultReservoirCap bounds the raw-sample reservoir when the caller
+// passes no explicit capacity: 4096 samples resolve a p99.9 on a 20k-run
+// series after at most one stride doubling.
+const DefaultReservoirCap = 4096
+
+// NewRecorder returns a recorder whose reservoir holds at most
+// reservoirCap raw samples (DefaultReservoirCap when <= 0).
+func NewRecorder(reservoirCap int) *Recorder {
+	if reservoirCap <= 0 {
+		reservoirCap = DefaultReservoirCap
+	}
+	r := &Recorder{counts: make([]atomic.Uint64, NumBuckets), cap: reservoirCap}
+	r.stride.Store(1)
+	return r
+}
+
+// Record adds one observation in cycles.
+func (r *Recorder) Record(v uint64) {
+	if r == nil {
+		return
+	}
+	r.counts[indexOf(v)].Add(1)
+	seq := r.seen.Add(1)
+	if (seq-1)&(r.stride.Load()-1) != 0 {
+		return
+	}
+	r.mu.Lock()
+	r.kept = append(r.kept, v)
+	if len(r.kept) >= r.cap {
+		// Compact: keep every 2nd sample and double the stride, so the
+		// retained set is always "every stride-th observation".
+		half := r.kept[:0]
+		for i := 0; i < len(r.kept); i += 2 {
+			half = append(half, r.kept[i])
+		}
+		r.kept = half
+		r.stride.Store(r.stride.Load() << 1)
+	}
+	r.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seen.Load()
+}
+
+// Snapshot returns a point-in-time copy: the full bucket array plus the
+// sorted reservoir.  A nil recorder snapshots to the empty distribution.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Counts: make([]uint64, NumBuckets)}
+	for i := range r.counts {
+		n := r.counts[i].Load()
+		s.Counts[i] = n
+		s.Total += n
+	}
+	r.mu.Lock()
+	s.Kept = append([]uint64(nil), r.kept...)
+	s.Stride = r.stride.Load()
+	r.mu.Unlock()
+	sort.Slice(s.Kept, func(i, j int) bool { return s.Kept[i] < s.Kept[j] })
+	return s
+}
+
+// Snapshot is an immutable copy of a recorder: per-bucket counts, the
+// total, and the sorted raw-sample reservoir.
+type Snapshot struct {
+	Counts []uint64
+	Total  uint64
+	Kept   []uint64 // sorted
+	Stride uint64   // one kept sample per Stride observations
+}
+
+// Count returns the number of observations in the snapshot.
+func (s Snapshot) Count() uint64 { return s.Total }
+
+// Min returns the lower bound of the lowest occupied bucket (exact for
+// values below 64), or 0 on an empty snapshot.
+func (s Snapshot) Min() uint64 {
+	for i, n := range s.Counts {
+		if n > 0 {
+			return BucketLow(i)
+		}
+	}
+	return 0
+}
+
+// Max returns the upper bound of the highest occupied bucket (exact for
+// values below 64), or 0 on an empty snapshot.
+func (s Snapshot) Max() uint64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 {
+			return BucketHigh(i)
+		}
+	}
+	return 0
+}
+
+// Mean returns the bucket-midpoint mean, or 0 on an empty snapshot.
+func (s Snapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, n := range s.Counts {
+		if n > 0 {
+			sum += bucketMid(i) * float64(n)
+		}
+	}
+	return sum / float64(s.Total)
+}
+
+// Quantile estimates the q-th quantile (clamped into [0, 1]) from the
+// bucket counts: the bucket holding the target rank reports its midpoint,
+// so the estimate is within half a bucket width (~0.8% relative) of the
+// true order statistic.  Returns 0 on an empty snapshot.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Total))
+	if rank >= s.Total {
+		rank = s.Total - 1
+	}
+	var seen uint64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if seen+n <= rank {
+			seen += n
+			continue
+		}
+		return bucketMid(i)
+	}
+	return 0
+}
+
+// ExactQuantile returns the q-th quantile of the raw reservoir under the
+// same nearest-rank convention as Quantile, exact when the reservoir
+// still holds every sample (Stride == 1).  Returns 0 on an empty
+// reservoir.
+func (s Snapshot) ExactQuantile(q float64) uint64 {
+	n := uint64(len(s.Kept))
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	return s.Kept[rank]
+}
+
+// FractionBelow returns the fraction of recorded values <= v, at bucket
+// resolution (~1% on the value axis): buckets whose upper bound is at
+// most v count in full, the bucket containing v counts pro rata.
+// Returns 0 on an empty snapshot.
+func (s Snapshot) FractionBelow(v uint64) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketLow(i), BucketHigh(i)
+		if hi <= v {
+			cum += c
+			continue
+		}
+		if lo <= v {
+			cum += uint64(float64(c) * float64(v-lo+1) / float64(hi-lo+1))
+		}
+		break
+	}
+	return float64(cum) / float64(s.Total)
+}
+
+// CDFPoint is one (value, cumulative-fraction) pair.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical cumulative distribution from the bucket
+// counts: one point per occupied bucket at the bucket's upper bound,
+// thinned to at most maxPoints (0 keeps every occupied bucket).  The last
+// occupied bucket always survives thinning so the curve reaches 1.0.
+func (s Snapshot) CDF(maxPoints int) []CDFPoint {
+	if s.Total == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		pts = append(pts, CDFPoint{Value: float64(BucketHigh(i)), Fraction: float64(cum) / float64(s.Total)})
+	}
+	if maxPoints <= 0 || len(pts) <= maxPoints {
+		return pts
+	}
+	thin := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints-1; i++ {
+		thin = append(thin, pts[i*len(pts)/maxPoints])
+	}
+	return append(thin, pts[len(pts)-1])
+}
+
+// Sub returns the interval distribution between an earlier snapshot o and
+// this one: per-bucket differences clamped at zero, so a reset degrades
+// to an empty interval instead of wrapping.  The reservoir does not
+// subtract (kept samples are not interval-attributable) and is dropped.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := Snapshot{Counts: make([]uint64, NumBuckets)}
+	for i := range d.Counts {
+		var sv, ov uint64
+		if i < len(s.Counts) {
+			sv = s.Counts[i]
+		}
+		if i < len(o.Counts) {
+			ov = o.Counts[i]
+		}
+		if sv > ov {
+			d.Counts[i] = sv - ov
+			d.Total += d.Counts[i]
+		}
+	}
+	return d
+}
+
+// Merge folds another snapshot into this one: bucket counts add, and the
+// reservoirs concatenate (re-sorted; the merged Stride is the coarser of
+// the two, so ExactQuantile degrades gracefully to "sampled").
+func (s *Snapshot) Merge(o Snapshot) {
+	if len(s.Counts) == 0 {
+		s.Counts = make([]uint64, NumBuckets)
+	}
+	for i, n := range o.Counts {
+		s.Counts[i] += n
+		s.Total += n
+	}
+	s.Kept = append(s.Kept, o.Kept...)
+	sort.Slice(s.Kept, func(i, j int) bool { return s.Kept[i] < s.Kept[j] })
+	if o.Stride > s.Stride {
+		s.Stride = o.Stride
+	}
+}

@@ -1,0 +1,254 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hotcalls/internal/sim"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 2, 63, 64, 65, 127, 128, 620, 1400, 8640, 14170,
+		1 << 20, 1<<40 + 12345, math.MaxUint64}
+	for _, v := range values {
+		i := indexOf(v)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("indexOf(%d) = %d out of range", v, i)
+		}
+		if lo, hi := BucketLow(i), BucketHigh(i); v < lo || v > hi {
+			t.Errorf("value %d outside its bucket %d [%d, %d]", v, i, lo, hi)
+		}
+	}
+	// Bucket bounds tile the range: each bucket starts right after the
+	// previous ends.
+	for i := 1; i < NumBuckets; i++ {
+		if BucketLow(i) != BucketHigh(i-1)+1 {
+			t.Fatalf("bucket %d low %d does not follow bucket %d high %d",
+				i, BucketLow(i), i-1, BucketHigh(i-1))
+		}
+	}
+}
+
+func TestExactBelowSubCount(t *testing.T) {
+	for v := uint64(0); v < subCount; v++ {
+		i := indexOf(v)
+		if BucketLow(i) != v || BucketHigh(i) != v {
+			t.Fatalf("value %d should be exact, got bucket [%d, %d]", v, BucketLow(i), BucketHigh(i))
+		}
+	}
+}
+
+// TestQuantileAccuracy pins the ~1% relative-error budget: on a stream
+// that spans the paper's full latency range, every bucket-estimated
+// quantile lands within 1% of the exact order statistic.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := sim.NewRNG(42)
+	r := NewRecorder(1 << 20) // reservoir big enough to keep everything
+	const n = 50000
+	for i := 0; i < n; i++ {
+		// Mix of regimes: hotcall-ish (~620), ecall-ish (~8600), tail.
+		v := uint64(500 + rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0:
+			v = uint64(8000 + rng.Intn(2000))
+		case 1:
+			v = uint64(12000 + rng.Intn(30000))
+		}
+		r.Record(v)
+	}
+	s := r.Snapshot()
+	if s.Stride != 1 {
+		t.Fatalf("reservoir decimated unexpectedly: stride %d", s.Stride)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		est := s.Quantile(q)
+		exact := float64(s.ExactQuantile(q))
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(est-exact) / exact; rel > 0.01 {
+			t.Errorf("q=%v: estimate %.0f vs exact %.0f, rel err %.3f > 1%%", q, est, exact, rel)
+		}
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(100)
+	s := r.Snapshot()
+	for _, q := range []float64{-1, -0.001, 0, 0.5, 1, 1.5, 100} {
+		if got := s.Quantile(q); got < float64(BucketLow(indexOf(100))) || got > float64(BucketHigh(indexOf(100))) {
+			t.Errorf("Quantile(%v) = %v, want inside bucket of 100", q, got)
+		}
+		if got := s.ExactQuantile(q); got != 100 {
+			t.Errorf("ExactQuantile(%v) = %d, want 100", q, got)
+		}
+	}
+}
+
+// TestReservoirDeterminism: identical single-threaded streams keep
+// identical raw samples, and the kept set is exactly every stride-th
+// observation after compaction.
+func TestReservoirDeterminism(t *testing.T) {
+	const streamLen = 10000
+	stream := make([]uint64, streamLen)
+	rng := sim.NewRNG(7)
+	for i := range stream {
+		stream[i] = uint64(rng.Intn(100000))
+	}
+	run := func() Snapshot {
+		r := NewRecorder(1024)
+		for _, v := range stream {
+			r.Record(v)
+		}
+		return r.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Stride != b.Stride || len(a.Kept) != len(b.Kept) {
+		t.Fatalf("runs diverged: stride %d/%d, kept %d/%d", a.Stride, b.Stride, len(a.Kept), len(b.Kept))
+	}
+	for i := range a.Kept {
+		if a.Kept[i] != b.Kept[i] {
+			t.Fatalf("kept[%d] differs: %d vs %d", i, a.Kept[i], b.Kept[i])
+		}
+	}
+	// 10000 observations into a 1024-cap reservoir: stride must have
+	// doubled past 10000/1024.
+	if a.Stride < 8 || a.Stride&(a.Stride-1) != 0 {
+		t.Fatalf("stride %d not the expected power of two", a.Stride)
+	}
+	// The kept set is {stream[k*stride]} (a sorted copy of it).
+	want := map[uint64]int{}
+	for i := 0; i < streamLen; i += int(a.Stride) {
+		want[stream[i]]++
+	}
+	got := map[uint64]int{}
+	for _, v := range a.Kept {
+		got[v]++
+	}
+	if len(a.Kept) != (streamLen+int(a.Stride)-1)/int(a.Stride) {
+		t.Fatalf("kept %d samples, want every %d-th of %d", len(a.Kept), a.Stride, streamLen)
+	}
+	for v, n := range want {
+		if got[v] != n {
+			t.Fatalf("kept multiset differs at value %d: got %d, want %d", v, got[v], n)
+		}
+	}
+}
+
+func TestSubAndMerge(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 100; i++ {
+		r.Record(1000)
+	}
+	early := r.Snapshot()
+	for i := 0; i < 50; i++ {
+		r.Record(2000)
+	}
+	late := r.Snapshot()
+	d := late.Sub(early)
+	if d.Total != 50 {
+		t.Fatalf("interval total %d, want 50", d.Total)
+	}
+	if q := d.Quantile(0.5); q < 1900 || q > 2100 {
+		t.Fatalf("interval median %v, want ~2000", q)
+	}
+
+	var m Snapshot
+	m.Merge(early)
+	m.Merge(d)
+	if m.Total != late.Total {
+		t.Fatalf("merge total %d, want %d", m.Total, late.Total)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(5)
+	if r.Count() != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	s := r.Snapshot()
+	if s.Total != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("nil recorder CDF not nil")
+	}
+
+	var set *Set
+	set.Observe(Ecall, 5)
+	set.SetTemp(Cold)
+	if set.Recorder(Ecall, Warm) != nil {
+		t.Fatal("nil set returned a recorder")
+	}
+}
+
+func TestCDFMonotonicAndComplete(t *testing.T) {
+	r := NewRecorder(64)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		r.Record(uint64(100 + rng.Intn(100000)))
+	}
+	s := r.Snapshot()
+	for _, maxPts := range []int{0, 10, 60} {
+		pts := s.CDF(maxPts)
+		if len(pts) == 0 {
+			t.Fatal("empty CDF")
+		}
+		if maxPts > 0 && len(pts) > maxPts {
+			t.Fatalf("CDF(%d) returned %d points", maxPts, len(pts))
+		}
+		last := pts[len(pts)-1]
+		if last.Fraction != 1 {
+			t.Fatalf("CDF does not reach 1.0: %v", last.Fraction)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+				t.Fatalf("CDF not monotonic at %d", i)
+			}
+		}
+	}
+}
+
+// TestConcurrentRecord exercises Record vs Snapshot under the race
+// detector (make test-race covers this package).
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(256)
+	set := NewSet(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := sim.NewRNG(uint64(g + 1))
+			for i := 0; i < 20000; i++ {
+				v := uint64(rng.Intn(10000))
+				r.Record(v)
+				set.Observe(HotEcall, v)
+				if i%1000 == 0 {
+					set.SetTemp(Temp(i / 1000 % 2))
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+			_ = set.Recorder(HotEcall, Warm).Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Count(); got != 4*20000 {
+		t.Fatalf("count %d, want %d", got, 4*20000)
+	}
+	warm := set.Recorder(HotEcall, Warm).Snapshot().Total
+	cold := set.Recorder(HotEcall, Cold).Snapshot().Total
+	if warm+cold != 4*20000 {
+		t.Fatalf("set totals %d+%d, want %d", warm, cold, 4*20000)
+	}
+}

@@ -1,0 +1,30 @@
+package dist
+
+import "testing"
+
+// TestFractionBelow checks the bucket-resolution CDF lookup against an
+// exactly-tracked stream.
+func TestFractionBelow(t *testing.T) {
+	var empty Snapshot
+	if got := empty.FractionBelow(100); got != 0 {
+		t.Fatalf("empty FractionBelow = %v, want 0", got)
+	}
+	r := NewRecorder(0)
+	for v := uint64(1); v <= 1000; v++ {
+		r.Record(v)
+	}
+	s := r.Snapshot()
+	for _, tc := range []struct {
+		v    uint64
+		want float64
+	}{{1000, 1.0}, {500, 0.5}, {250, 0.25}, {1, 0.001}, {2000, 1.0}} {
+		got := s.FractionBelow(tc.v)
+		if diff := got - tc.want; diff < -0.02 || diff > 0.02 {
+			t.Errorf("FractionBelow(%d) = %.4f, want %.4f +-0.02", tc.v, got, tc.want)
+		}
+	}
+	// Values below sub-bucket resolution are exact.
+	if got := s.FractionBelow(50); got != 0.05 {
+		t.Errorf("FractionBelow(50) = %.4f, want exactly 0.05", got)
+	}
+}

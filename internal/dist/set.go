@@ -1,0 +1,109 @@
+package dist
+
+import "sync/atomic"
+
+// Kind labels which call boundary an observation crossed.  The first
+// four are the paper's interfaces; the leaf kinds resolve the microcode
+// share of an SDK crossing (the EENTER/ERESUME and EEXIT instructions
+// themselves).
+type Kind int
+
+const (
+	Ecall Kind = iota
+	Ocall
+	HotEcall
+	HotOcall
+	EEnterLeaf
+	EExitLeaf
+	KindCount
+)
+
+// String returns the series-name fragment for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Ecall:
+		return "ecall"
+	case Ocall:
+		return "ocall"
+	case HotEcall:
+		return "hotecall"
+	case HotOcall:
+		return "hotocall"
+	case EEnterLeaf:
+		return "eenter"
+	case EExitLeaf:
+		return "eexit"
+	}
+	return "unknown"
+}
+
+// Temp labels the cache-temperature regime a series was measured under
+// (the paper's warm/cold split in Table 1 and Figure 2).
+type Temp int
+
+const (
+	Warm Temp = iota
+	Cold
+	TempCount
+)
+
+// String returns the series-name fragment for the temperature.
+func (t Temp) String() string {
+	if t == Cold {
+		return "cold"
+	}
+	return "warm"
+}
+
+// SeriesName is the canonical label of one (kind, temperature) series,
+// e.g. "ecall_warm" — the key the report artifact uses.
+func SeriesName(k Kind, t Temp) string { return k.String() + "_" + t.String() }
+
+// Set is a full labelled recorder matrix: one Recorder per (kind,
+// temperature) pair, with the current temperature a single atomic so the
+// measurement harness can flip warm/cold around its eviction setup
+// without touching the instrumented paths.  A nil *Set is a valid
+// disabled set, and Observe on it is a single branch — the hook stays on
+// every boundary path at zero cost until a report run attaches a Set.
+type Set struct {
+	recs [KindCount][TempCount]*Recorder
+	temp atomic.Int32
+}
+
+// NewSet returns a set whose recorders each hold at most reservoirCap
+// raw samples (DefaultReservoirCap when <= 0).
+func NewSet(reservoirCap int) *Set {
+	s := &Set{}
+	for k := Kind(0); k < KindCount; k++ {
+		for t := Temp(0); t < TempCount; t++ {
+			s.recs[k][t] = NewRecorder(reservoirCap)
+		}
+	}
+	return s
+}
+
+// SetTemp switches the temperature label subsequent observations record
+// under.
+func (s *Set) SetTemp(t Temp) {
+	if s == nil {
+		return
+	}
+	s.temp.Store(int32(t))
+}
+
+// Observe records one boundary crossing of the given kind under the
+// current temperature label.
+func (s *Set) Observe(k Kind, cycles uint64) {
+	if s == nil {
+		return
+	}
+	s.recs[k][s.temp.Load()].Record(cycles)
+}
+
+// Recorder returns the recorder of one labelled series.
+func (s *Set) Recorder(k Kind, t Temp) *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.recs[k][t]
+}

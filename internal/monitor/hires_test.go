@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"hotcalls/internal/dist"
+	"hotcalls/internal/telemetry"
+)
+
+// TestHiResSamplerPercentiles: with a recorder attached, interval
+// percentiles come from the high-resolution buckets (within ~1%, where
+// the log2 histogram could be off by half a binade) and the p99.9 tail
+// is populated.
+func TestHiResSamplerPercentiles(t *testing.T) {
+	reg := telemetry.New()
+	rec := dist.NewRecorder(0)
+	m := New(reg, Options{LatencyDist: rec})
+	m.Tick()
+
+	// 999 fast calls and one slow one: p50 ~620, p99.9 picks up the tail.
+	for i := 0; i < 999; i++ {
+		rec.Record(620)
+	}
+	rec.Record(9000)
+	s := m.Tick()
+	if !s.HiRes {
+		t.Fatal("sample not marked HiRes with a recorder attached")
+	}
+	if s.LatencyCount != 1000 {
+		t.Fatalf("interval count %d, want 1000", s.LatencyCount)
+	}
+	if s.LatencyP50 < 610 || s.LatencyP50 > 630 {
+		t.Fatalf("hi-res p50 %d, want ~620 (the log2 histogram would report ~768)", s.LatencyP50)
+	}
+	if s.LatencyP999 < 8000 || s.LatencyP999 > 10000 {
+		t.Fatalf("hi-res p99.9 %d, want ~9000", s.LatencyP999)
+	}
+
+	// Calls recorded before monitoring started must not leak into the
+	// first interval: a fresh monitor over the same recorder starts at
+	// zero.
+	m2 := New(reg, Options{LatencyDist: rec})
+	m2.Tick()
+	if s2 := m2.Tick(); s2.LatencyCount != 0 {
+		t.Fatalf("fresh monitor counted %d pre-existing calls", s2.LatencyCount)
+	}
+}
+
+// TestHiResSLOGatesOnP999: the latency-SLO rule gates on the p99.9
+// objective for hi-res samples — a tail-only regression that leaves the
+// p99 healthy still alerts, which the coarse path cannot do.
+func TestHiResSLOGatesOnP999(t *testing.T) {
+	reg := telemetry.New()
+	rec := dist.NewRecorder(0)
+	th := DefaultThresholds()
+	m := New(reg, Options{
+		LatencyDist: rec,
+		Rules:       []Rule{&LatencySLORule{T: th}},
+	})
+	m.Tick()
+
+	// Every interval: 995 healthy calls, 5 at 3x the p99.9 objective.
+	// p99 stays at 620 (under the 2048 p99 objective); p99.9 breaches.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 995; j++ {
+			rec.Record(620)
+		}
+		for j := 0; j < 5; j++ {
+			rec.Record(3 * th.SLOObjectiveP999)
+		}
+		m.Tick()
+	}
+	ev := m.Events()
+	if len(ev) == 0 {
+		t.Fatal("tail-only regression raised no alert through the hi-res path")
+	}
+	for _, e := range ev {
+		if e.Rule != "latency-slo" {
+			t.Fatalf("unexpected rule %q", e.Rule)
+		}
+		if !strings.Contains(e.Diagnosis, "p99.9") {
+			t.Fatalf("diagnosis does not name the p99.9 objective: %q", e.Diagnosis)
+		}
+		if uint64(e.Threshold) != th.SLOObjectiveP999 {
+			t.Fatalf("threshold %v, want %d", e.Threshold, th.SLOObjectiveP999)
+		}
+	}
+
+	// The same stream through the coarse path stays quiet: the log2 p99
+	// never breaches, demonstrating what the upgrade buys.
+	mc := New(reg, Options{Rules: []Rule{&LatencySLORule{T: th}}})
+	mc.Tick()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 995; j++ {
+			reg.Histogram(telemetry.MetricHotCallCycles).Observe(620)
+		}
+		for j := 0; j < 5; j++ {
+			reg.Histogram(telemetry.MetricHotCallCycles).Observe(3 * th.SLOObjectiveP999)
+		}
+		mc.Tick()
+	}
+	if ev := mc.Events(); len(ev) != 0 {
+		t.Fatalf("coarse path unexpectedly alerted on a tail-only regression: %+v", ev)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/telemetry"
 )
 
@@ -24,6 +25,15 @@ type Options struct {
 	// Rules is the evaluation set; nil selects
 	// DefaultRules(DefaultThresholds()).
 	Rules []Rule
+
+	// LatencyDist, when set, upgrades the latency signal: interval
+	// percentiles (including the tail p99.9 the log2 histogram cannot
+	// resolve) come from this high-resolution recorder instead of the
+	// hotcall_cycles histogram, and the latency-SLO rule gates on the
+	// p99.9 objective.  The caller attaches the same recorder to the
+	// instrumented channel (e.g. Channel.SetDistribution on a Set whose
+	// HotEcall/Warm recorder this is).
+	LatencyDist *dist.Recorder
 
 	// HealthWindow is how many trailing samples an event stays "active"
 	// for in Health().  Default 12.
@@ -80,7 +90,9 @@ type Monitor struct {
 // samples until Tick or Start.
 func New(reg *telemetry.Registry, opts Options) *Monitor {
 	opts.fill()
-	return &Monitor{sampler: NewSampler(reg), opts: opts}
+	sampler := NewSampler(reg)
+	sampler.SetDistribution(opts.LatencyDist)
+	return &Monitor{sampler: sampler, opts: opts}
 }
 
 // Tick takes one sample, evaluates every rule over the current window,

@@ -63,8 +63,12 @@ type Thresholds struct {
 	SpinPerCallBudget float64 // simulated sync cycles per HotCall → Warning
 
 	// Latency SLO burn rate (multiwindow).
-	SLOObjectiveP99 uint64  // interval p99 objective in cycles
-	SLOMinCount     uint64  // min latency observations for an interval to count
+	SLOObjectiveP99 uint64 // interval p99 objective in cycles
+	// SLOObjectiveP999 gates the interval p99.9 when the sample carries a
+	// high-resolution distribution (Options.LatencyDist); coarse samples
+	// fall back to the p99 objective.
+	SLOObjectiveP999 uint64
+	SLOMinCount      uint64 // min latency observations for an interval to count
 	SLOFastWindow   int     // samples in the fast window
 	SLOSlowWindow   int     // samples in the slow window
 	SLOFastBurn     float64 // breaching fraction of the fast window
@@ -90,8 +94,9 @@ func DefaultThresholds() Thresholds {
 		SpinCritOccupancy: 0.001,
 		SpinPerCallBudget: 2048,
 
-		SLOObjectiveP99: 2048,
-		SLOMinCount:     8,
+		SLOObjectiveP99:  2048,
+		SLOObjectiveP999: 4096,
+		SLOMinCount:      8,
 		SLOFastWindow:   3,
 		SLOSlowWindow:   12,
 		SLOFastBurn:     0.67,
@@ -225,11 +230,15 @@ type LatencySLORule struct{ T Thresholds }
 // Name implements Rule.
 func (r *LatencySLORule) Name() string { return "latency-slo" }
 
-// burning reports whether a sample is eligible and breaches the p99
-// objective.
+// burning reports whether a sample is eligible and breaches its
+// objective: the p99.9 against SLOObjectiveP999 on high-resolution
+// samples, the interpolated p99 against SLOObjectiveP99 otherwise.
 func (r *LatencySLORule) burning(s Sample) (eligible, breach bool) {
 	if s.LatencyCount < r.T.SLOMinCount {
 		return false, false
+	}
+	if s.HiRes && r.T.SLOObjectiveP999 > 0 {
+		return true, s.LatencyP999 > r.T.SLOObjectiveP999
 	}
 	return true, s.LatencyP99 > r.T.SLOObjectiveP99
 }
@@ -273,14 +282,18 @@ func (r *LatencySLORule) Evaluate(window []Sample) []Event {
 	if slow >= r.T.SLOSlowBurn {
 		sev = Critical
 	}
+	quantile, value, objective := "p99", s.LatencyP99, r.T.SLOObjectiveP99
+	if s.HiRes && r.T.SLOObjectiveP999 > 0 {
+		quantile, value, objective = "p99.9", s.LatencyP999, r.T.SLOObjectiveP999
+	}
 	return []Event{{
 		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
-		Value: float64(s.LatencyP99), Threshold: float64(r.T.SLOObjectiveP99),
+		Value: float64(value), Threshold: float64(objective),
 		Diagnosis: fmt.Sprintf(
-			"HotCall p99 %d cycles over the %d-cycle objective; burn rate %.0f%% fast / %.0f%% slow "+
+			"HotCall %s %d cycles over the %d-cycle objective; burn rate %.0f%% fast / %.0f%% slow "+
 				"window — sustained tail regression, not a blip (look for fallback storms, EPC "+
 				"thrash, or a preempted responder in the same windows)",
-			s.LatencyP99, r.T.SLOObjectiveP99, fast*100, slow*100),
+			quantile, value, objective, fast*100, slow*100),
 	}}
 }
 

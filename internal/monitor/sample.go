@@ -18,6 +18,7 @@ package monitor
 import (
 	"time"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/telemetry"
 )
 
@@ -65,12 +66,18 @@ type Sample struct {
 	Occupancy    float64 `json:"occupancy"`     // Δexecutes / Δpolls
 	MEEHitRate   float64 `json:"mee_hit_rate"`  // interval node-cache hit fraction
 
-	// HotCall latency distribution of this interval (from the
-	// hotcall_cycles histogram delta; zeros when no calls landed).
+	// HotCall latency distribution of this interval.  By default the
+	// percentiles interpolate the coarse log2 hotcall_cycles histogram
+	// delta; when a high-resolution recorder is attached
+	// (Options.LatencyDist) they come from its ~1%-error buckets instead,
+	// HiRes is set, and LatencyP999 resolves the tail the log2 buckets
+	// cannot.  Zeros when no calls landed this interval.
 	LatencyCount uint64 `json:"latency_count"`
 	LatencyP50   uint64 `json:"latency_p50_cycles"`
 	LatencyP95   uint64 `json:"latency_p95_cycles"`
 	LatencyP99   uint64 `json:"latency_p99_cycles"`
+	LatencyP999  uint64 `json:"latency_p999_cycles,omitempty"`
+	HiRes        bool   `json:"hi_res,omitempty"`
 }
 
 // Sampler turns successive registry snapshots into interval Samples.
@@ -80,6 +87,9 @@ type Sampler struct {
 	seq     int
 	prev    telemetry.Snapshot
 	hasPrev bool
+
+	rec      *dist.Recorder
+	prevDist dist.Snapshot
 }
 
 // NewSampler returns a sampler over the registry.  A nil registry is
@@ -87,6 +97,10 @@ type Sampler struct {
 func NewSampler(reg *telemetry.Registry) *Sampler {
 	return &Sampler{reg: reg}
 }
+
+// SetDistribution attaches (or, with nil, detaches) the high-resolution
+// latency recorder the sampler prefers over the log2 histogram.
+func (sa *Sampler) SetDistribution(r *dist.Recorder) { sa.rec = r }
 
 // sub clamps counter deltas at zero so a registry swap or reset degrades
 // to an empty interval instead of wrapping.
@@ -135,6 +149,9 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	sa.seq++
 	if !sa.hasPrev {
 		sa.prev, sa.hasPrev = snap, true
+		if sa.rec != nil {
+			sa.prevDist = sa.rec.Snapshot()
+		}
 		return s
 	}
 	p := sa.prev.Counters
@@ -164,13 +181,27 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	dMiss := sub(s.MEEMisses, p[telemetry.MetricMEENodeMiss])
 	s.MEEHitRate = ratio(dHits, dHits+dMiss)
 
-	lat := snap.Histograms[telemetry.MetricHotCallCycles].
-		Sub(sa.prev.Histograms[telemetry.MetricHotCallCycles])
-	s.LatencyCount = lat.Count
-	if lat.Count > 0 {
-		s.LatencyP50 = lat.Quantile(0.50)
-		s.LatencyP95 = lat.Quantile(0.95)
-		s.LatencyP99 = lat.Quantile(0.99)
+	if sa.rec != nil {
+		cur := sa.rec.Snapshot()
+		d := cur.Sub(sa.prevDist)
+		sa.prevDist = cur
+		s.HiRes = true
+		s.LatencyCount = d.Total
+		if d.Total > 0 {
+			s.LatencyP50 = uint64(d.Quantile(0.50))
+			s.LatencyP95 = uint64(d.Quantile(0.95))
+			s.LatencyP99 = uint64(d.Quantile(0.99))
+			s.LatencyP999 = uint64(d.Quantile(0.999))
+		}
+	} else {
+		lat := snap.Histograms[telemetry.MetricHotCallCycles].
+			Sub(sa.prev.Histograms[telemetry.MetricHotCallCycles])
+		s.LatencyCount = lat.Count
+		if lat.Count > 0 {
+			s.LatencyP50 = lat.Quantile(0.50)
+			s.LatencyP95 = lat.Quantile(0.95)
+			s.LatencyP99 = lat.Quantile(0.99)
+		}
 	}
 	sa.prev = snap
 	return s

@@ -53,6 +53,57 @@ func DefaultPolicy() Policy {
 	}
 }
 
+// PaperFidelityPolicy gates the hotreport fidelity section: every
+// "fidelity/<metric>" key compares a measured value against the paper's
+// published number, two-sided — drifting under the target is as much a
+// calibration break as drifting over it.  Specific overrides come before
+// the catch-all because resolution stops at the first match.
+//
+// Tolerances are calibrated from the seed's measured deviations (see
+// EXPERIMENTS.md "Paper fidelity"): medians reproduce to within a few
+// percent; the read-overhead sweep's mid-range points (4-16 KB) diverge
+// structurally — the simulated MEE node cache has a sharper capacity
+// knee than the real part — so they carry documented wide tolerances
+// rather than an always-red gate.
+func PaperFidelityPolicy() Policy {
+	return Policy{
+		DefaultTolerancePct: 10,
+		Overrides: []Override{
+			// Structural divergence: the Figure 6 mid-range (see
+			// EXPERIMENTS.md "Known divergences").  The simulated MEE
+			// node cache leaves its capacity knee at a sharper angle than
+			// the real part, so the 4-16 KB points sit ~20% off and the
+			// 32 KB endpoint ~14% (trajectory baseline: -21%/-19%/+22%/+14%).
+			{Pattern: "fidelity/read_overhead_4kb_pct", ForceDirection: true, Direction: TwoSided, TolerancePct: 45},
+			{Pattern: "fidelity/read_overhead_8kb_pct", ForceDirection: true, Direction: TwoSided, TolerancePct: 45},
+			{Pattern: "fidelity/read_overhead_16kb_pct", ForceDirection: true, Direction: TwoSided, TolerancePct: 30},
+			{Pattern: "fidelity/read_overhead_32kb_pct", ForceDirection: true, Direction: TwoSided, TolerancePct: 20},
+			// The paper's "620 cycles in most cases" is the latency
+			// model's p78, not its median (~553, -10.8% in the committed
+			// trajectory baseline); the median-derived metrics inherit
+			// that offset.  The Figure 3 tail gates as the paper states
+			// it — fraction within 1,400 cycles — not as a p99.97 order
+			// statistic, which is the top handful of samples and churns
+			// across seeds.
+			{Pattern: "fidelity/hotcall_median_cycles", ForceDirection: true, Direction: TwoSided, TolerancePct: 15},
+			{Pattern: "fidelity/hotcall_vs_*_speedup", ForceDirection: true, Direction: TwoSided, TolerancePct: 15},
+			// Write overhead is a small number (~6%), so relative drift
+			// is amplified; the paper itself only claims "about 6%".
+			{Pattern: "fidelity/write_overhead_*", ForceDirection: true, Direction: TwoSided, TolerancePct: 40},
+			// Everything else under fidelity/: calibrated medians,
+			// HotCall latency, app throughput ratios.
+			{Pattern: "fidelity/*", ForceDirection: true, Direction: TwoSided, TolerancePct: 10},
+		},
+	}
+}
+
+// Resolve is the exported form of resolve, for callers (the report
+// builder) that need to display the direction and tolerance a key gates
+// under.
+func (p Policy) Resolve(key, unit string) (Direction, float64) {
+	return p.resolve(key, unit)
+}
+
 // higherBetterUnits are the units that regress when they shrink.
 var higherBetterUnits = map[string]bool{
 	"req/s": true, "ops/s": true, "x": true, "GB/s": true, "MB/s": true,

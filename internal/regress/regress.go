@@ -31,6 +31,10 @@ const (
 	// Neutral: metadata-like values compared only for drift reporting,
 	// never gated.
 	Neutral
+	// TwoSided: fidelity metrics pinned to a published target — drifting
+	// beyond tolerance in either direction regresses, because "faster
+	// than the paper" means the calibration no longer reproduces it.
+	TwoSided
 )
 
 // String returns a compact direction marker for reports.
@@ -40,6 +44,8 @@ func (d Direction) String() string {
 		return "lower-better"
 	case HigherBetter:
 		return "higher-better"
+	case TwoSided:
+		return "two-sided"
 	}
 	return "neutral"
 }
@@ -202,6 +208,9 @@ func classify(d Delta) Class {
 	}
 	if abs <= d.TolerancePct {
 		return Unchanged
+	}
+	if d.Direction == TwoSided {
+		return Regressed
 	}
 	worse := d.ChangePct > 0
 	if d.Direction == HigherBetter {

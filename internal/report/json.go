@@ -1,0 +1,153 @@
+package report
+
+import (
+	"encoding/json"
+
+	"hotcalls/internal/bench"
+	"hotcalls/internal/regress"
+	"hotcalls/internal/sim"
+)
+
+// SchemaVersion identifies the report.json artifact format.
+const SchemaVersion = "hotcalls-report/v1"
+
+// The JSON twin of REPORT.md.  Deliberately timestamp-free: the artifact
+// is committed, and a byte-identical regeneration is the determinism
+// contract (contrast BENCH_hotcalls.json, whose generated_at records the
+// trajectory point in time).
+
+type jsonQuantile struct {
+	Q      float64 `json:"q"`
+	Cycles float64 `json:"cycles"`
+}
+
+type jsonCDFPoint struct {
+	Cycles   float64 `json:"cycles"`
+	Fraction float64 `json:"fraction"`
+}
+
+type jsonSeries struct {
+	Name        string         `json:"name"`
+	Count       uint64         `json:"count"`
+	MinCycles   uint64         `json:"min_cycles"`
+	MaxCycles   uint64         `json:"max_cycles"`
+	MeanCycles  float64        `json:"mean_cycles"`
+	Percentiles []jsonQuantile `json:"percentiles"`
+	CDF         []jsonCDFPoint `json:"cdf,omitempty"`
+}
+
+type jsonSweepPoint struct {
+	KB               uint64  `json:"kb"`
+	ReadPlain        float64 `json:"read_plain_cycles"`
+	ReadEnc          float64 `json:"read_enc_cycles"`
+	ReadOverheadPct  float64 `json:"read_overhead_pct"`
+	PaperReadPct     float64 `json:"paper_read_overhead_pct"`
+	WritePlain       float64 `json:"write_plain_cycles"`
+	WriteEnc         float64 `json:"write_enc_cycles"`
+	WriteOverheadPct float64 `json:"write_overhead_pct"`
+}
+
+type jsonApp struct {
+	App        string  `json:"app"`
+	Mode       string  `json:"mode"`
+	Throughput float64 `json:"throughput"`
+	Paper      float64 `json:"paper"`
+	Unit       string  `json:"unit"`
+}
+
+type jsonFidelity struct {
+	Metric       string  `json:"metric"`
+	Measured     float64 `json:"measured"`
+	Paper        float64 `json:"paper"`
+	ChangePct    float64 `json:"change_pct"`
+	TolerancePct float64 `json:"tolerance_pct"`
+	Verdict      string  `json:"verdict"`
+}
+
+type jsonReport struct {
+	Schema       string           `json:"schema"`
+	Seed         uint64           `json:"seed"`
+	WarmRuns     int              `json:"warm_runs"`
+	ColdRuns     int              `json:"cold_runs"`
+	AppSeconds   float64          `json:"app_seconds"`
+	ReservoirCap int              `json:"reservoir_cap"`
+	FrequencyHz  uint64           `json:"sim_frequency_hz"`
+	Calls        []jsonSeries     `json:"calls"`
+	Leaves       []jsonSeries     `json:"leaves"`
+	Sweep        []jsonSweepPoint `json:"sweep"`
+	Apps         []jsonApp        `json:"apps"`
+	AppLatency   []jsonSeries     `json:"app_latency"`
+	Fidelity     []jsonFidelity   `json:"fidelity"`
+	FidelityPass bool             `json:"fidelity_pass"`
+}
+
+func toJSONSeries(s bench.CallSeries, withCDF bool) jsonSeries {
+	out := jsonSeries{
+		Name:       s.Name,
+		Count:      s.Snap.Count(),
+		MinCycles:  s.Snap.Min(),
+		MaxCycles:  s.Snap.Max(),
+		MeanCycles: s.Snap.Mean(),
+	}
+	for _, q := range quantiles {
+		out.Percentiles = append(out.Percentiles, jsonQuantile{Q: q.q, Cycles: s.Snap.Quantile(q.q)})
+	}
+	if withCDF {
+		for _, p := range s.Snap.CDF(cdfPoints) {
+			out.CDF = append(out.CDF, jsonCDFPoint{Cycles: p.Value, Fraction: p.Fraction})
+		}
+	}
+	return out
+}
+
+// JSON renders the report.json artifact with stable indentation.
+func (r *Report) JSON() ([]byte, error) {
+	d := r.Data
+	out := jsonReport{
+		Schema:       SchemaVersion,
+		Seed:         d.Cfg.Seed,
+		WarmRuns:     d.Cfg.WarmRuns,
+		ColdRuns:     d.Cfg.ColdRuns,
+		AppSeconds:   d.Cfg.AppSeconds,
+		ReservoirCap: d.Cfg.ReservoirCap,
+		FrequencyHz:  sim.FrequencyHz,
+		FidelityPass: r.FidelityOK(),
+	}
+	for _, s := range d.Calls {
+		out.Calls = append(out.Calls, toJSONSeries(s, true))
+	}
+	for _, s := range d.Leaves {
+		out.Leaves = append(out.Leaves, toJSONSeries(s, false))
+	}
+	for _, p := range d.Sweep {
+		out.Sweep = append(out.Sweep, jsonSweepPoint(p))
+	}
+	for _, a := range d.Apps {
+		out.Apps = append(out.Apps, jsonApp{
+			App: a.App, Mode: a.Mode.String(),
+			Throughput: a.Throughput, Paper: a.Paper, Unit: a.Unit,
+		})
+	}
+	for _, s := range d.AppLatency {
+		out.AppLatency = append(out.AppLatency, toJSONSeries(s, false))
+	}
+	for _, delta := range r.Fidelity.Deltas {
+		verdict := "ok"
+		if delta.Class != regress.Unchanged {
+			verdict = delta.Class.String()
+		}
+		out.Fidelity = append(out.Fidelity, jsonFidelity{
+			Metric:       delta.Key,
+			Measured:     delta.Cand,
+			Paper:        delta.Base,
+			ChangePct:    delta.ChangePct,
+			TolerancePct: delta.TolerancePct,
+			Verdict:      verdict,
+		})
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

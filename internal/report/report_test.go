@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/bench"
+)
+
+// quickCfg is small enough to build twice in a test but exercises every
+// section of the report.
+var quickCfg = bench.ReportConfig{
+	Seed:       3,
+	WarmRuns:   1500,
+	ColdRuns:   400,
+	AppSeconds: 0.005,
+}
+
+// TestReportDeterministic pins the byte-determinism contract: same
+// config, same markdown, same JSON.
+func TestReportDeterministic(t *testing.T) {
+	r1 := Build(quickCfg)
+	r2 := Build(quickCfg)
+	if r1.Markdown() != r2.Markdown() {
+		t.Fatal("two builds with the same config produced different markdown")
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("two builds with the same config produced different JSON")
+	}
+}
+
+// TestReportSections checks the markdown carries every promised section
+// and one embedded SVG per figure.
+func TestReportSections(t *testing.T) {
+	r := Build(quickCfg)
+	md := r.Markdown()
+	for _, want := range []string{
+		"## Headline medians",
+		"## Call latency CDFs",
+		"### Percentiles (cycles)",
+		"### Leaf instructions",
+		"## Buffer sweep",
+		"## Application throughput",
+		"### Request latency under HotCalls",
+		"## Paper fidelity",
+		"ecall_warm", "ocall_cold", "hotecall_warm",
+		"eenter_warm", "eexit_warm",
+		"memcached", "lighttpd",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if got := strings.Count(md, "<svg"); got != 3 {
+		t.Errorf("embedded SVG count = %d, want 3 (warm CDF, cold CDF, sweep)", got)
+	}
+	if n := strings.Count(md, "</svg>"); n != 3 {
+		t.Errorf("unclosed SVG: %d closing tags for 3 figures", n)
+	}
+}
+
+// TestReportJSONShape decodes the artifact and spot-checks the schema.
+func TestReportJSONShape(t *testing.T) {
+	r := Build(quickCfg)
+	buf, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Schema string `json:"schema"`
+		Seed   uint64 `json:"seed"`
+		Calls  []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+			CDF   []struct {
+				Cycles   float64 `json:"cycles"`
+				Fraction float64 `json:"fraction"`
+			} `json:"cdf"`
+		} `json:"calls"`
+		Fidelity []struct {
+			Metric  string `json:"metric"`
+			Verdict string `json:"verdict"`
+		} `json:"fidelity"`
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", out.Schema, SchemaVersion)
+	}
+	if out.Seed != quickCfg.Seed {
+		t.Errorf("seed = %d, want %d", out.Seed, quickCfg.Seed)
+	}
+	if len(out.Calls) != 6 {
+		t.Fatalf("calls = %d series, want 6", len(out.Calls))
+	}
+	for _, c := range out.Calls {
+		wantRuns := uint64(quickCfg.WarmRuns)
+		if strings.HasSuffix(c.Name, "_cold") {
+			wantRuns = uint64(quickCfg.ColdRuns)
+		}
+		if c.Count != wantRuns {
+			t.Errorf("%s count = %d, want %d (warm-up leaked into the recorder?)", c.Name, c.Count, wantRuns)
+		}
+		if len(c.CDF) == 0 {
+			t.Errorf("%s has no CDF points", c.Name)
+		}
+	}
+	if len(out.Fidelity) == 0 {
+		t.Error("no fidelity metrics")
+	}
+	for _, f := range out.Fidelity {
+		if !strings.HasPrefix(f.Metric, "fidelity/") {
+			t.Errorf("fidelity metric %q missing fidelity/ prefix (policy overrides will not match)", f.Metric)
+		}
+	}
+}
+
+// TestFidelityOrdering sanity-checks the physics the report claims: the
+// HotCall median sits far below both SDK crossings, and cold SDK medians
+// exceed warm ones.
+func TestFidelityOrdering(t *testing.T) {
+	r := Build(quickCfg)
+	med := func(name string) float64 { return r.Data.Snapshot(name).Quantile(0.5) }
+	if hot, ec := med("hotecall_warm"), med("ecall_warm"); hot*5 > ec {
+		t.Errorf("hotcall median %.0f not well below warm ecall median %.0f", hot, ec)
+	}
+	if w, c := med("ecall_warm"), med("ecall_cold"); c <= w {
+		t.Errorf("ecall cold median %.0f <= warm %.0f", c, w)
+	}
+	if w, c := med("ocall_warm"), med("ocall_cold"); c <= w {
+		t.Errorf("ocall cold median %.0f <= warm %.0f", c, w)
+	}
+}

@@ -3,6 +3,7 @@ package sdk
 import (
 	"fmt"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/edl"
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sim"
@@ -128,6 +129,7 @@ func (rt *Runtime) ECall(clk *sim.Clock, name string, args ...Arg) (uint64, erro
 		m.Load(clk, avxSaveAddr+uint64(i)*mem.LineSize)
 	}
 	rt.tel.ecallCycles.ObserveSince(callStart, clk.Now())
+	rt.dist.Observe(dist.Ecall, clk.Since(callStart))
 	if tr != nil {
 		tr.Emit(telemetry.KindEcall, "ecall:"+name, callStart, clk.Since(callStart), 0)
 	}

@@ -3,6 +3,7 @@ package sdk
 import (
 	"fmt"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/edl"
 	"hotcalls/internal/mem"
 	"hotcalls/internal/telemetry"
@@ -103,6 +104,7 @@ func (ctx *Ctx) OCall(name string, args ...Arg) (uint64, error) {
 		tr.Emit(telemetry.KindMarshal, "copyout:"+name, copyOutStart, clk.Since(copyOutStart), 0)
 	}
 	rt.tel.ocallCycles.ObserveSince(callStart, clk.Now())
+	rt.dist.Observe(dist.Ocall, clk.Since(callStart))
 	if tr != nil {
 		tr.Emit(telemetry.KindOcall, "ocall:"+name, callStart, clk.Since(callStart), 0)
 	}

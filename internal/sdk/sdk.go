@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hotcalls/internal/dist"
 	"hotcalls/internal/edl"
 	"hotcalls/internal/mem"
 	"hotcalls/internal/sgx"
@@ -116,6 +117,10 @@ type Runtime struct {
 	// tel caches the runtime's telemetry handles; all nil (no-op) until
 	// SetTelemetry attaches a registry.
 	tel runtimeTel
+
+	// dist records full-resolution per-call latency distributions; nil
+	// (one branch per call) until SetDistribution attaches a set.
+	dist *dist.Set
 }
 
 // runtimeTel is the set of handles the SDK call paths touch.
@@ -138,6 +143,12 @@ func (rt *Runtime) SetTelemetry(reg *telemetry.Registry) {
 		tracer:      reg.Tracer(),
 	}
 }
+
+// SetDistribution attaches (or, with nil, detaches) the high-resolution
+// distribution set.  Each completed ecall/ocall records its total cycle
+// cost under the set's current temperature label, alongside the coarse
+// telemetry histograms.
+func (rt *Runtime) SetDistribution(d *dist.Set) { rt.dist = d }
 
 // Fixed plain-memory landmarks of the untrusted runtime.  Keeping them at
 // stable addresses means repeated calls find them cache-warm, exactly as

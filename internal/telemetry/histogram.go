@@ -125,11 +125,22 @@ func (s HistogramSnapshot) Mean() float64 {
 // onto the bucket's value range [lower, upper].  This keeps the estimate
 // within one bucket of the true order statistic while avoiding the
 // systematic upward bias of reporting bucket upper bounds (a p50 of
-// 8,640-cycle ecalls reports ~8.7k, not 16,383).  Returns 0 on an empty
-// snapshot.
+// 8,640-cycle ecalls reports ~8.7k, not 16,383).  q is clamped into
+// [0, 1] — without the clamp a negative q converts to a huge uint64 rank
+// and silently reports the maximum.  Returns 0 on an empty snapshot; a
+// single-observation snapshot returns that observation exactly (Sum).
 func (s HistogramSnapshot) Quantile(q float64) uint64 {
 	if s.Count == 0 {
 		return 0
+	}
+	if s.Count == 1 {
+		return s.Sum
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := uint64(q * float64(s.Count))
 	if rank >= s.Count {
