@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead experiments report bench-json bench-regress profile
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead bench-scaling experiments report bench-json bench-regress profile
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -15,11 +15,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The HotCall protocol, the telemetry registry, the health monitor, and
-# the distribution recorder are the packages with real cross-goroutine
-# traffic; run them under the race detector.
+# The HotCall protocol, the telemetry registry, the health monitor, the
+# distribution recorder, and the fabric-routed memcached/lighttpd ports
+# are the packages with real cross-goroutine traffic; run them under the
+# race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -49,6 +50,15 @@ dist-overhead:
 # budget, recorded in EXPERIMENTS.md).
 monitor-overhead:
 	$(GO) test -run '^$$' -bench 'BenchmarkCall(Telemetry|Monitored|TickerControl)|BenchmarkTick' -benchtime 2s -count 5 ./internal/monitor/
+
+# bench-scaling runs the fabric throughput-scaling curve (requesters x
+# responders over the CallPool, plus the fabric-routed app paths) and the
+# Go benchmark pair behind the >=4x acceptance criterion.  The same
+# curve's ratios land in BENCH_hotcalls.json via bench-json and are gated
+# by bench-regress under the scaling/* policy.
+bench-scaling:
+	$(GO) run ./cmd/hotbench -run scaling
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolCall|BenchmarkSingleSlotFunnel' -benchtime 1s -count 3 ./internal/core/
 
 # bench-json regenerates the machine-readable results artifact that perf
 # changes diff against.

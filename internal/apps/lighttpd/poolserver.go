@@ -1,0 +1,182 @@
+package lighttpd
+
+// PoolServer routes lighttpd's concurrent request path through the
+// HotCalls fabric (core.CallPool) — the real-concurrency counterpart of
+// the simulated Server above.  Each client connection owns one fabric
+// shard and a ring of request/response buffers; the call word packs the
+// buffer slot and the raw request length into a typed uint64, so the
+// submit/complete path allocates nothing in the fabric.  The document
+// root is immutable after construction, so responders serve it with no
+// locking at all — the read-mostly best case for scaling responders.
+
+import (
+	"fmt"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/telemetry"
+)
+
+// opServeHTTP is the single fabric call table entry: serve one raw
+// HTTP/1.0 request.
+const opServeHTTP core.CallID = 0
+
+// connWindow is the per-connection buffer ring depth.
+const connWindow = 16
+
+// respCap holds a response head plus the 20 KB page.
+const respCap = PageSize + 512
+
+// PoolServer is lighttpd over the fabric: a CallPool whose one table
+// entry parses and answers HTTP requests against an immutable docroot.
+type PoolServer struct {
+	pool    *core.CallPool
+	docroot map[string][]byte
+	conns   []*PoolConn
+}
+
+// NewPoolServer builds a fabric-routed server for up to conns client
+// connections.  The docroot gets the paper's single 20 KB page at
+// /index.html; AddDocument extends it before Start.  opts tunes the
+// underlying CallPool; its Shards field is overridden.
+func NewPoolServer(conns int, opts core.PoolOptions) *PoolServer {
+	s := &PoolServer{docroot: make(map[string][]byte)}
+	page := make([]byte, PageSize)
+	for i := range page {
+		page[i] = byte('a' + i%26)
+	}
+	s.docroot["/index.html"] = page
+
+	opts.Shards = conns
+	s.conns = make([]*PoolConn, conns)
+	s.pool = core.NewCallPool([]core.PoolFunc{s.serve}, opts)
+	for i := range s.conns {
+		c := &PoolConn{s: s, req: s.pool.Requester()}
+		for j := range c.bufs {
+			c.bufs[j].req = make([]byte, readCap)
+			c.bufs[j].resp = make([]byte, respCap)
+		}
+		s.conns[i] = c
+	}
+	return s
+}
+
+// AddDocument installs a document before Start.  The docroot must not
+// change once responders are running — its immutability is what makes
+// the serve path lock-free.
+func (s *PoolServer) AddDocument(path string, body []byte) {
+	s.docroot[path] = append([]byte(nil), body...)
+}
+
+// SetTelemetry attaches the fabric's registry handles.  Call before
+// Start.
+func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) { s.pool.SetTelemetry(reg) }
+
+// Pool exposes the underlying CallPool (responder bounds, stats).
+func (s *PoolServer) Pool() *core.CallPool { return s.pool }
+
+// Start launches the adaptive responder pool.
+func (s *PoolServer) Start() { s.pool.Start() }
+
+// Stop shuts the fabric down.
+func (s *PoolServer) Stop() { s.pool.Stop() }
+
+// Conn returns connection i's handle.  Each connection must be driven
+// from one goroutine at a time.
+func (s *PoolServer) Conn(i int) *PoolConn { return s.conns[i] }
+
+func packData(slot, n int) uint64 { return uint64(slot)<<32 | uint64(uint32(n)) }
+
+func unpackData(d uint64) (slot, n int) { return int(d >> 32), int(uint32(d)) }
+
+// serve is the enclave-side handler: parse the raw request out of the
+// submitting connection's slot buffer, look the path up in the docroot,
+// and write head+body into the paired response buffer.  The returned
+// word is the response length.  Malformed requests get a real 400, not
+// an error: a web server answers bad clients on the wire.
+func (s *PoolServer) serve(requester int, data uint64) uint64 {
+	slot, n := unpackData(data)
+	b := &s.conns[requester].bufs[slot]
+	status, body := 200, []byte(nil)
+	req, err := ParseRequest(string(b.req[:n]))
+	if err != nil {
+		status = 400
+	} else if doc, ok := s.docroot[req.Path]; !ok {
+		status = 404
+	} else {
+		body = doc
+	}
+	head := ResponseHead(status, len(body))
+	p := copy(b.resp, head)
+	if req != nil && req.Method == "HEAD" {
+		return uint64(p)
+	}
+	p += copy(b.resp[p:], body)
+	return uint64(p)
+}
+
+// connBuf is one in-flight request's buffer pair.
+type connBuf struct {
+	req  []byte
+	resp []byte
+}
+
+// PoolConn is one client connection: a fabric requester plus its buffer
+// ring.  Submissions complete in FIFO order per connection; collect
+// oldest-first.
+type PoolConn struct {
+	s        *PoolServer
+	req      *core.Requester
+	bufs     [connWindow]connBuf
+	next     int
+	inflight int
+}
+
+// PendingResponse is an in-flight request's handle.
+type PendingResponse struct {
+	c    *PoolConn
+	pd   *core.PoolPending
+	slot int
+}
+
+// Submit copies the raw request into the next ring buffer and posts it
+// to the fabric.  It fails when the connection's window is full —
+// collect the oldest PendingResponse first.
+func (c *PoolConn) Submit(raw string) (PendingResponse, error) {
+	if c.inflight == connWindow {
+		return PendingResponse{}, fmt.Errorf("lighttpd: connection window full (%d in flight)", c.inflight)
+	}
+	if len(raw) > readCap {
+		return PendingResponse{}, ErrBadRequest
+	}
+	slot := c.next
+	n := copy(c.bufs[slot].req, raw)
+	pd, err := c.req.Submit(opServeHTTP, packData(slot, n))
+	if err != nil {
+		return PendingResponse{}, err
+	}
+	c.next = (c.next + 1) % connWindow
+	c.inflight++
+	return PendingResponse{c: c, pd: pd, slot: slot}, nil
+}
+
+// Wait blocks until the response bytes are ready.  The returned slice
+// aliases the connection's slot buffer: consume it before the slot comes
+// around again (connWindow submissions later).
+func (pr PendingResponse) Wait() ([]byte, error) {
+	ret, err := pr.pd.Wait()
+	pr.c.inflight--
+	if err != nil {
+		return nil, err
+	}
+	return pr.c.bufs[pr.slot].resp[:ret], nil
+}
+
+// Do is the synchronous path: one raw request through the fabric,
+// blocking for its response bytes.
+func (c *PoolConn) Do(raw string) ([]byte, error) {
+	pr, err := c.Submit(raw)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Wait()
+}

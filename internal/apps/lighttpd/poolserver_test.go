@@ -1,0 +1,148 @@
+package lighttpd
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/telemetry"
+)
+
+func fastPoolOpts(maxResponders int) core.PoolOptions {
+	return core.PoolOptions{
+		SlotsPerShard: connWindow,
+		MinResponders: 1,
+		MaxResponders: maxResponders,
+		Timeout:       1 << 20,
+		ControlWindow: 8,
+		SpinPasses:    2,
+		YieldPasses:   4,
+	}
+}
+
+const getIndex = "GET /index.html HTTP/1.0\r\nHost: sim\r\n\r\n"
+
+func TestPoolServerServesIndex(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(2))
+	s.Start()
+	defer s.Stop()
+
+	resp, err := s.Conn(0).Do(getIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(resp)
+	if !strings.HasPrefix(text, "HTTP/1.0 200 OK\r\n") {
+		t.Fatalf("status line: %q", text[:40])
+	}
+	if !strings.Contains(text, fmt.Sprintf("Content-Length: %d\r\n", PageSize)) {
+		t.Fatalf("content length missing: %q", text[:120])
+	}
+	_, body, ok := strings.Cut(text, "\r\n\r\n")
+	if !ok || len(body) != PageSize {
+		t.Fatalf("body = %d bytes, want %d", len(body), PageSize)
+	}
+}
+
+func TestPoolServerHeadAndErrors(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(1))
+	s.AddDocument("/doc", []byte("hello"))
+	s.Start()
+	defer s.Stop()
+	c := s.Conn(0)
+
+	resp, err := c.Do("HEAD /doc HTTP/1.0\r\n\r\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "HTTP/1.0 200 OK\r\n") || bytes.Contains(resp, []byte("hello")) {
+		t.Fatalf("HEAD must return the head only: %q", resp)
+	}
+
+	resp, err = c.Do("GET /missing HTTP/1.0\r\n\r\n")
+	if err != nil || !strings.HasPrefix(string(resp), "HTTP/1.0 404 Not Found\r\n") {
+		t.Fatalf("404 = (%q, %v)", resp, err)
+	}
+
+	resp, err = c.Do("NONSENSE\r\n\r\n")
+	if err != nil || !strings.HasPrefix(string(resp), "HTTP/1.0 400 Bad Request\r\n") {
+		t.Fatalf("400 = (%q, %v)", resp, err)
+	}
+}
+
+func TestPoolServerConcurrentConnections(t *testing.T) {
+	const conns = 4
+	s := NewPoolServer(conns, fastPoolOpts(3))
+	s.SetTelemetry(telemetry.New())
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for ci := 0; ci < conns; ci++ {
+		c := s.Conn(ci)
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			pending := make([]PendingResponse, 0, connWindow)
+			served := 0
+			for served < 300 {
+				for len(pending) < connWindow {
+					pr, err := c.Submit(getIndex)
+					if err != nil {
+						errs <- fmt.Errorf("conn %d submit: %v", ci, err)
+						return
+					}
+					pending = append(pending, pr)
+				}
+				for _, pr := range pending {
+					resp, err := pr.Wait()
+					if err != nil || !bytes.HasPrefix(resp, []byte("HTTP/1.0 200")) {
+						errs <- fmt.Errorf("conn %d: (%.40q, %v)", ci, resp, err)
+						return
+					}
+					served++
+				}
+				pending = pending[:0]
+			}
+			errs <- nil
+		}(ci)
+	}
+	wg.Wait()
+	for ci := 0; ci < conns; ci++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolServerThroughput measures the fabric-routed HTTP request
+// path with a pipelined connection — the number the scaling experiment
+// in internal/bench normalizes against.
+func BenchmarkPoolServerThroughput(b *testing.B) {
+	s := NewPoolServer(1, core.PoolOptions{SlotsPerShard: connWindow, Timeout: 1 << 20})
+	s.Start()
+	defer s.Stop()
+	c := s.Conn(0)
+	b.ResetTimer()
+	pending := make([]PendingResponse, 0, connWindow)
+	for i := 0; i < b.N; {
+		for len(pending) < connWindow && i < b.N {
+			pr, err := c.Submit(getIndex)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pending = append(pending, pr)
+			i++
+		}
+		for _, pr := range pending {
+			if _, err := pr.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pending = pending[:0]
+	}
+}

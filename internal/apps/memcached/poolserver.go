@@ -1,0 +1,257 @@
+package memcached
+
+// PoolServer routes memcached's concurrent request path through the
+// HotCalls fabric (core.CallPool) — the real-concurrency counterpart of
+// the simulated Server above.  Each client connection owns one fabric
+// shard and a small ring of request/response buffers; the call word
+// stays a typed uint64 (buffer slot + encoded length packed into the
+// data word), so the submit/complete path allocates nothing and the
+// enclave handler addresses the right buffers from the (requester, slot)
+// pair alone.  The store is the enclave-side state: a striped-lock hash
+// map holding real bytes, shared by every responder.
+
+import (
+	"fmt"
+	"sync"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/telemetry"
+)
+
+// opServe is the single fabric call table entry: serve one encoded
+// memcached binary-protocol request.
+const opServe core.CallID = 0
+
+// connWindow is the per-connection buffer ring depth — the async window
+// a connection may keep in flight.
+const connWindow = 16
+
+// storeStripes is the lock striping of the shared store; a power of two.
+const storeStripes = 16
+
+// poolStore is the enclave-side key-value state the responders execute
+// against: real bytes behind striped locks, so responders serving
+// different keys rarely contend.
+type poolStore struct {
+	stripes [storeStripes]storeStripe
+}
+
+type storeStripe struct {
+	mu    sync.Mutex
+	items map[string][]byte
+	_     [cacheLinePad]byte
+}
+
+// cacheLinePad keeps adjacent stripes' locks off one coherence line.
+const cacheLinePad = 64
+
+func newPoolStore() *poolStore {
+	st := &poolStore{}
+	for i := range st.stripes {
+		st.stripes[i].items = make(map[string][]byte)
+	}
+	return st
+}
+
+// stripe picks the lock stripe for a key (FNV-1a, masked).
+func (st *poolStore) stripe(key string) *storeStripe {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &st.stripes[h&(storeStripes-1)]
+}
+
+func (st *poolStore) set(key string, value []byte) {
+	sp := st.stripe(key)
+	sp.mu.Lock()
+	// Reuse the existing backing array when it fits so a hot SET key
+	// settles into a stable allocation.
+	if dst, ok := sp.items[key]; ok && cap(dst) >= len(value) {
+		sp.items[key] = dst[:len(value)]
+		copy(sp.items[key], value)
+	} else {
+		sp.items[key] = append([]byte(nil), value...)
+	}
+	sp.mu.Unlock()
+}
+
+// get copies the value for key into dst and returns the copied length
+// and whether the key existed.  Copying under the stripe lock is what
+// lets the caller read the response buffer without holding any lock.
+func (st *poolStore) get(key string, dst []byte) (int, bool) {
+	sp := st.stripe(key)
+	sp.mu.Lock()
+	v, ok := sp.items[key]
+	n := copy(dst, v)
+	sp.mu.Unlock()
+	return n, ok
+}
+
+func (st *poolStore) delete(key string) bool {
+	sp := st.stripe(key)
+	sp.mu.Lock()
+	_, ok := sp.items[key]
+	delete(sp.items, key)
+	sp.mu.Unlock()
+	return ok
+}
+
+// PoolServer is memcached over the fabric: a CallPool whose one table
+// entry serves binary-protocol requests against the shared store.
+type PoolServer struct {
+	pool  *core.CallPool
+	store *poolStore
+	conns []*PoolConn
+}
+
+// NewPoolServer builds a fabric-routed server for up to conns client
+// connections.  opts tunes the underlying CallPool; its Shards field is
+// overridden to the connection count.
+func NewPoolServer(conns int, opts core.PoolOptions) *PoolServer {
+	s := &PoolServer{store: newPoolStore()}
+	opts.Shards = conns
+	s.conns = make([]*PoolConn, conns)
+	s.pool = core.NewCallPool([]core.PoolFunc{s.serve}, opts)
+	for i := range s.conns {
+		c := &PoolConn{s: s, req: s.pool.Requester()}
+		for j := range c.bufs {
+			c.bufs[j].req = make([]byte, bufCap)
+			c.bufs[j].resp = make([]byte, bufCap)
+		}
+		s.conns[i] = c
+	}
+	return s
+}
+
+// SetTelemetry attaches the fabric's registry handles.  Call before
+// Start.
+func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) { s.pool.SetTelemetry(reg) }
+
+// Pool exposes the underlying CallPool (responder bounds, stats).
+func (s *PoolServer) Pool() *core.CallPool { return s.pool }
+
+// Start launches the adaptive responder pool.
+func (s *PoolServer) Start() { s.pool.Start() }
+
+// Stop shuts the fabric down.
+func (s *PoolServer) Stop() { s.pool.Stop() }
+
+// Conn returns connection i's handle.  Each connection must be driven
+// from one goroutine at a time.
+func (s *PoolServer) Conn(i int) *PoolConn { return s.conns[i] }
+
+// packData encodes a buffer slot and request length into the fabric's
+// call word; the pair is everything the handler needs to find its bytes.
+func packData(slot, n int) uint64 { return uint64(slot)<<32 | uint64(uint32(n)) }
+
+func unpackData(d uint64) (slot, n int) { return int(d >> 32), int(uint32(d)) }
+
+// serve is the enclave-side handler: decode the request from the
+// submitting connection's slot buffer, execute it against the store, and
+// encode the response into the paired response buffer.  The returned
+// word is the response length (or the ^0 sentinel on a malformed
+// packet, mirroring the corrupted-call_ID convention).
+func (s *PoolServer) serve(requester int, data uint64) uint64 {
+	slot, n := unpackData(data)
+	b := &s.conns[requester].bufs[slot]
+	req, err := DecodeRequest(b.req[:n])
+	if err != nil {
+		return ^uint64(0)
+	}
+	resp := Response{Op: req.Op, Opaque: req.Opaque, Status: StatusOK}
+	switch req.Op {
+	case OpGet:
+		if n, ok := s.store.get(req.Key, b.val[:]); ok {
+			resp.Value = b.val[:n]
+		} else {
+			resp.Status = StatusNotFound
+		}
+	case OpSet:
+		s.store.set(req.Key, req.Value)
+	case OpDelete:
+		if !s.store.delete(req.Key) {
+			resp.Status = StatusNotFound
+		}
+	}
+	respLen, err := EncodeResponse(b.resp, &resp)
+	if err != nil {
+		return ^uint64(0)
+	}
+	return uint64(respLen)
+}
+
+// connBuf is one in-flight request's buffer set.  val is the staging
+// area store.get copies into, so a GET's response value never aliases
+// live store memory once the stripe lock is released.
+type connBuf struct {
+	req  []byte
+	resp []byte
+	val  [ValueSize]byte
+}
+
+// PoolConn is one client connection: a fabric requester plus its buffer
+// ring.  Submissions complete in FIFO order (the fabric ring is FIFO per
+// shard), so collecting oldest-first keeps the window moving and makes
+// buffer-slot reuse safe.
+type PoolConn struct {
+	s        *PoolServer
+	req      *core.Requester
+	bufs     [connWindow]connBuf
+	next     int
+	inflight int
+}
+
+// PendingResponse is an in-flight request's handle.
+type PendingResponse struct {
+	c    *PoolConn
+	pd   *core.PoolPending
+	slot int
+}
+
+// Submit encodes the request into the next ring buffer and posts it to
+// the fabric.  It fails when the connection's window (connWindow calls)
+// is already full — collect the oldest PendingResponse first.
+func (c *PoolConn) Submit(r *Request) (PendingResponse, error) {
+	if c.inflight == connWindow {
+		return PendingResponse{}, fmt.Errorf("memcached: connection window full (%d in flight)", c.inflight)
+	}
+	slot := c.next
+	n, err := EncodeRequest(c.bufs[slot].req, r)
+	if err != nil {
+		return PendingResponse{}, err
+	}
+	pd, err := c.req.Submit(opServe, packData(slot, n))
+	if err != nil {
+		return PendingResponse{}, err
+	}
+	c.next = (c.next + 1) % connWindow
+	c.inflight++
+	return PendingResponse{c: c, pd: pd, slot: slot}, nil
+}
+
+// Wait blocks until the response is ready and decodes it.  The decoded
+// Response aliases the connection's slot buffer: consume it before the
+// slot comes around again (connWindow submissions later).
+func (pr PendingResponse) Wait() (*Response, error) {
+	ret, err := pr.pd.Wait()
+	pr.c.inflight--
+	if err != nil {
+		return nil, err
+	}
+	if ret == ^uint64(0) {
+		return nil, ErrShortPacket
+	}
+	return DecodeResponse(pr.c.bufs[pr.slot].resp[:ret])
+}
+
+// Do is the synchronous path: one request through the fabric, blocking
+// for its response.
+func (c *PoolConn) Do(r *Request) (*Response, error) {
+	pr, err := c.Submit(r)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Wait()
+}

@@ -111,6 +111,7 @@ func (p *Pending) Wait() (uint64, error) {
 type MultiResponder struct {
 	slots []*HotCall
 	table []func(data interface{}) uint64
+	pass  int // rotates the scan start so no slot holds first-served priority
 }
 
 // NewMultiResponder returns a responder servicing all the given slots with
@@ -119,41 +120,54 @@ func NewMultiResponder(slots []*HotCall, table []func(data interface{}) uint64) 
 	return &MultiResponder{slots: slots, table: table}
 }
 
-// Run polls the slots round-robin until every slot is stopped.
+// Run polls the slots until every slot is stopped.  Each pass starts one
+// slot later than the last: a strict 0..n-1 scan gives slot 0 first
+// claim on every responder quantum, and under saturation that priority
+// compounds into starvation of the high-indexed slots (the fairness hole
+// TestMultiResponderScanFairness pins).  Rotation hands the head of the
+// line to every slot in turn.
 func (m *MultiResponder) Run() {
-	for {
-		alive := false
-		for _, h := range m.slots {
-			if h.stopped.Load() {
-				continue
-			}
-			alive = true
-			if !h.lock.TryLock() {
-				continue
-			}
-			if h.state != stateRequested {
-				h.lock.Unlock()
-				continue
-			}
-			id, data := h.id, h.data
-			h.state = stateRunning
-			h.lock.Unlock()
-
-			var ret uint64
-			if int(id) < 0 || int(id) >= len(m.table) {
-				ret = ^uint64(0)
-			} else {
-				ret = m.table[id](data)
-			}
-
-			h.lock.Lock()
-			h.ret = ret
-			h.state = stateDone
-			h.lock.Unlock()
-		}
-		if !alive {
-			return
-		}
+	for m.runPass() {
 		pause()
 	}
+}
+
+// runPass scans every slot once, starting at the rotated offset, and
+// executes any requested calls it finds.  It returns false once every
+// slot is stopped.  Split from Run so tests can drive passes
+// deterministically.
+func (m *MultiResponder) runPass() (alive bool) {
+	n := len(m.slots)
+	start := m.pass
+	m.pass++
+	for k := 0; k < n; k++ {
+		h := m.slots[(start+k)%n]
+		if h.stopped.Load() {
+			continue
+		}
+		alive = true
+		if !h.lock.TryLock() {
+			continue
+		}
+		if h.state != stateRequested {
+			h.lock.Unlock()
+			continue
+		}
+		id, data := h.id, h.data
+		h.state = stateRunning
+		h.lock.Unlock()
+
+		var ret uint64
+		if int(id) < 0 || int(id) >= len(m.table) {
+			ret = ^uint64(0)
+		} else {
+			ret = m.table[id](data)
+		}
+
+		h.lock.Lock()
+		h.ret = ret
+		h.state = stateDone
+		h.lock.Unlock()
+	}
+	return alive
 }

@@ -55,14 +55,31 @@ const (
 // spin lock, a state flag, the requested call's ID, and the *data pointer.
 // One HotCall pairs any number of requesters with one responder.
 //
+// Field layout is deliberate.  The handoff group (lock, state, id, data)
+// lives alone on line 0: both sides write it, but only under the lock,
+// so it ping-pongs exactly once per direction per call.  The return slot
+// sits on its own line so the responder publishing a result does not
+// invalidate the line the next submission is spinning on.  The control
+// flags and cold configuration live past a third pad: stopped/sleeping
+// are read every poll iteration by both sides, and before this layout
+// they shared a line with ret — every completion store invalidated the
+// read-mostly flags in every spinning requester's cache.  The
+// before/after BenchmarkCall pair in EXPERIMENTS.md quantifies the fix.
+//
 // The zero value is ready to use; start a Responder on it.
 type HotCall struct {
+	// Line 0: the lock-guarded handoff words (4+4+8+16 bytes).
 	lock  sdk.SpinLock
 	state uint32
 	id    CallID
 	data  interface{}
-	ret   uint64
+	_     [cacheLine - 32]byte
 
+	// Line 1: the responder-written return slot.
+	ret uint64
+	_   [cacheLine - 8]byte
+
+	// Line 2+: read-mostly control flags and cold configuration.
 	stopped  atomic.Bool
 	sleeping atomic.Bool
 	wake     sdk.Cond

@@ -1,0 +1,442 @@
+package core
+
+// This file is the HotCalls fabric: the multi-requester design the paper
+// sketches but never builds (Section 4.2, "Maximizing utilization" /
+// "Conserving resources at idle times"), grown into a runnable runtime.
+//
+// The single HotCall slot of hotcalls.go pairs all requesters with one
+// responder through one spin lock: every submission ping-pongs the same
+// cache line between cores, and only one call can be in flight at a time.
+// The fabric replaces that with a CallPool:
+//
+//   - One shard per requester goroutine.  A shard is a small ring of
+//     cache-line-padded slots owned by exactly one requester, so the
+//     submission path takes no lock at all: the requester writes the
+//     call's id and data into its next ring slot and publishes it with
+//     one release store.  Requester-written words and responder-written
+//     words live on separate cache lines, so a responder finishing one
+//     call never invalidates the line a requester is busy writing.
+//
+//   - A pool of responders (scale.go) claims work across shards through
+//     a per-shard tail cursor: one compare-and-swap claims a posted slot
+//     exclusively, so any number of responders can drain any shard
+//     without double-executing a call.
+//
+//   - The ring depth is the per-requester window: a requester may keep
+//     up to SlotsPerShard asynchronous calls in flight (Submit/Wait),
+//     which is what lets one polling quantum of a responder drain a
+//     whole batch — the "merging several threads' queues" economics of
+//     Section 4.2 — instead of paying a scheduling handoff per call.
+//
+// The request path allocates nothing: call data is a typed uint64 (no
+// interface{} boxing), and async PoolPending handles come from a
+// sync.Pool.  TestPoolCallZeroAlloc and BenchmarkPoolCall assert this.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/telemetry"
+)
+
+// cacheLine is the coherence granule the slot layout is padded to.  x86
+// parts prefetch line pairs, so hot structures are padded to two lines
+// where adjacent-line false sharing would hurt.
+const cacheLine = 64
+
+// Slot states.  A slot cycles posted ← idle ← done ← posted; the claim
+// step (responder taking ownership) is the shard tail CAS, not a state
+// transition, so the responder writes the state word exactly once per
+// call (the done release-store that doubles as the completion signal).
+const (
+	slotIdle uint32 = iota
+	slotPosted
+	slotDone
+)
+
+// poolSlot is one call cell.  Layout matters:
+//
+//	line 0 (requester-written): state, id, data.  The state word is the
+//	  handoff flag both sides read, but only the requester and the one
+//	  claiming responder ever write it, one store each per call.
+//	line 1 (responder-written): ret.  Kept off line 0 so the responder
+//	  storing a result does not invalidate the line a pipelining
+//	  requester is concurrently posting its next call on.
+type poolSlot struct {
+	state atomic.Uint32
+	_     [4]byte
+	id    CallID
+	data  uint64
+	_     [cacheLine - 24]byte
+	ret   uint64
+	_     [cacheLine - 8]byte
+}
+
+// PoolFunc is a fabric call-table entry.  requester identifies the
+// submitting shard (stable for the life of the pool), which is how
+// applications address per-requester buffers without boxing pointers
+// through the call word; data is the call's typed payload.
+type PoolFunc func(requester int, data uint64) uint64
+
+// shard is one requester's ring.  head is owned by the requester alone
+// (no atomics needed); tail is the responders' claim cursor.  They sit
+// on separate cache lines so requester posting and responder claiming
+// never false-share.
+type shard struct {
+	slots []poolSlot
+	mask  uint64
+
+	_    [cacheLine - 24]byte
+	head uint64 // next post position; requester-owned
+	_    [cacheLine - 8]byte
+	tail atomic.Uint64 // next claim position; responder-shared
+	_    [cacheLine - 8]byte
+}
+
+// hasWork reports whether the slot at the claim cursor is posted.
+func (sh *shard) hasWork() bool {
+	return sh.slots[sh.tail.Load()&sh.mask].state.Load() == slotPosted
+}
+
+// PoolOptions tunes a CallPool.  The zero value selects the defaults
+// noted on each field.
+type PoolOptions struct {
+	// Shards is the number of requester slots rings (default
+	// GOMAXPROCS).  Requester() hands them out; creating more
+	// requesters than shards panics.
+	Shards int
+
+	// SlotsPerShard is the ring depth — the per-requester async window
+	// (default 64, rounded up to a power of two).
+	SlotsPerShard int
+
+	// MinResponders and MaxResponders bound the adaptive responder pool
+	// (defaults 1 and GOMAXPROCS; see scale.go).
+	MinResponders int
+	MaxResponders int
+
+	// Timeout is the submission-attempt limit before Call/Submit gives
+	// up with ErrTimeout, the paper's starvation fallback (default
+	// DefaultTimeout).  Each attempt re-checks the requester's own ring
+	// slot, so a timeout means the window stayed full — the responders
+	// are saturated — for that many attempts.
+	Timeout int
+
+	// ScaleUpOccupancy and ScaleDownOccupancy are the window-occupancy
+	// watermarks of the adaptive controller (defaults 0.5 and 0.05):
+	// occupancy is executes/polls over the last control window, i.e.
+	// the fraction of slot inspections that found work.
+	ScaleUpOccupancy   float64
+	ScaleDownOccupancy float64
+
+	// ControlWindow is how many primary-responder scan passes elapse
+	// between adaptive decisions (default 256).
+	ControlWindow int
+
+	// SpinPasses is how many consecutive empty scan passes a responder
+	// burns hot before it starts yielding (default 16); YieldPasses is
+	// how many yielding passes before it goes to sleep on the pool's
+	// condition variable (default 64).  Together they are the
+	// spin→yield→sleep backoff ladder of Section 4.2's idle story.
+	SpinPasses  int
+	YieldPasses int
+}
+
+func (o *PoolOptions) fill() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.SlotsPerShard <= 0 {
+		o.SlotsPerShard = 64
+	}
+	// Round the ring up to a power of two so post/claim positions mask
+	// instead of dividing.
+	n := 1
+	for n < o.SlotsPerShard {
+		n <<= 1
+	}
+	o.SlotsPerShard = n
+	if o.MinResponders <= 0 {
+		o.MinResponders = 1
+	}
+	if o.MaxResponders <= 0 {
+		o.MaxResponders = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxResponders < o.MinResponders {
+		o.MaxResponders = o.MinResponders
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.ScaleUpOccupancy <= 0 {
+		o.ScaleUpOccupancy = 0.5
+	}
+	if o.ScaleDownOccupancy <= 0 {
+		o.ScaleDownOccupancy = 0.05
+	}
+	if o.ControlWindow <= 0 {
+		o.ControlWindow = 256
+	}
+	if o.SpinPasses <= 0 {
+		o.SpinPasses = 16
+	}
+	if o.YieldPasses <= 0 {
+		o.YieldPasses = 64
+	}
+}
+
+// CallPool is the fabric: sharded slot rings on the requester side, an
+// adaptive responder pool (scale.go) on the other.  Create with
+// NewCallPool, attach telemetry before Start, hand out shards with
+// Requester, and Stop when done.
+type CallPool struct {
+	opts   PoolOptions
+	shards []*shard
+	table  []PoolFunc
+
+	nextShard atomic.Int32
+	stopped   atomic.Bool
+
+	// Idle-responder parking.  sleepers counts responders inside the
+	// wake wait; requesters signal after posting only when it is
+	// non-zero, so the loaded steady state never touches the mutex.
+	sleepers atomic.Int32
+	wake     sdk.Cond
+
+	// Adaptive-pool state (scale.go).
+	minR, maxR atomic.Int32
+	target     atomic.Int32
+	live       atomic.Int32
+	polls      atomic.Uint64 // slot inspections, pool-wide
+	executes   atomic.Uint64 // claimed calls, pool-wide
+	wg         sync.WaitGroup
+
+	// Controller bookkeeping: last-window totals, read and written only
+	// by the primary responder inside control(), so plain fields.
+	ctrlPolls    uint64
+	ctrlExecutes uint64
+
+	pendingPool sync.Pool
+
+	// Telemetry handles, nil (no-op) until SetTelemetry; cached so the
+	// hot path never does a registry lookup.
+	requests   *telemetry.Counter
+	timeouts   *telemetry.Counter
+	pollCtr    *telemetry.Counter
+	executeCtr *telemetry.Counter
+	sleepCtr   *telemetry.Counter
+	scaleUps   *telemetry.Counter
+	scaleDowns *telemetry.Counter
+	liveGauge  *telemetry.Gauge
+	maxGauge   *telemetry.Gauge
+	occGauge   *telemetry.Gauge
+	respOcc    []*telemetry.Gauge // per-responder occupancy, indexed by responder
+}
+
+// NewCallPool builds a fabric over the given call table.  Responders do
+// not run until Start.
+func NewCallPool(table []PoolFunc, opts PoolOptions) *CallPool {
+	opts.fill()
+	p := &CallPool{opts: opts, table: table}
+	p.shards = make([]*shard, opts.Shards)
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			slots: make([]poolSlot, opts.SlotsPerShard),
+			mask:  uint64(opts.SlotsPerShard - 1),
+		}
+	}
+	p.minR.Store(int32(opts.MinResponders))
+	p.maxR.Store(int32(opts.MaxResponders))
+	p.target.Store(int32(opts.MinResponders))
+	p.pendingPool.New = func() any { return new(PoolPending) }
+	return p
+}
+
+// SetTelemetry attaches the fabric's counters and gauges from the
+// registry: submission traffic, responder economics (the same
+// responder poll/execute/sleep counters the single-slot protocol
+// feeds, so existing occupancy monitoring keeps working), and the
+// adaptive controller's decisions.  A nil registry detaches.  Attach
+// before Start.
+func (p *CallPool) SetTelemetry(reg *telemetry.Registry) {
+	p.requests = reg.Counter(telemetry.MetricHotCallRequests)
+	p.timeouts = reg.Counter(telemetry.MetricHotCallTimeouts)
+	p.pollCtr = reg.Counter(telemetry.MetricResponderPolls)
+	p.executeCtr = reg.Counter(telemetry.MetricResponderExecutes)
+	p.sleepCtr = reg.Counter(telemetry.MetricResponderSleeps)
+	p.scaleUps = reg.Counter(telemetry.MetricPoolScaleUps)
+	p.scaleDowns = reg.Counter(telemetry.MetricPoolScaleDowns)
+	p.liveGauge = reg.Gauge(telemetry.MetricPoolResponders)
+	p.maxGauge = reg.Gauge(telemetry.MetricPoolRespondersMax)
+	p.occGauge = reg.Gauge(telemetry.MetricPoolOccupancyMilli)
+	if reg == nil {
+		p.respOcc = nil
+		return
+	}
+	p.respOcc = make([]*telemetry.Gauge, p.opts.MaxResponders)
+	for i := range p.respOcc {
+		p.respOcc[i] = reg.Gauge(telemetry.PoolResponderOccupancyMetric(i))
+	}
+	p.maxGauge.Set(int64(p.opts.MaxResponders))
+}
+
+// Requester binds the next free shard to the calling goroutine and
+// returns its handle.  A Requester must be used from one goroutine at a
+// time; the pool supports at most Shards of them.
+func (p *CallPool) Requester() *Requester {
+	idx := int(p.nextShard.Add(1)) - 1
+	if idx >= len(p.shards) {
+		panic("core: CallPool requesters exhausted (raise PoolOptions.Shards)")
+	}
+	return &Requester{pool: p, shard: p.shards[idx], idx: idx}
+}
+
+// Stop shuts the fabric down: responders exit after their current call,
+// sleeping responders are woken, and subsequent or in-flight
+// submissions fail with ErrStopped.
+func (p *CallPool) Stop() {
+	p.stopped.Store(true)
+	p.wake.Broadcast()
+	p.wg.Wait()
+	p.liveGauge.Set(0)
+}
+
+// Stopped reports whether Stop has been called.
+func (p *CallPool) Stopped() bool { return p.stopped.Load() }
+
+// Requester is one shard's submission handle.
+type Requester struct {
+	pool  *CallPool
+	shard *shard
+	idx   int
+}
+
+// Index returns the requester's stable shard index, the value handlers
+// receive as their requester argument.
+func (r *Requester) Index() int { return r.idx }
+
+// post plants one call in the requester's ring, spinning through the
+// attempt budget when the window is full.  On success the slot pointer
+// is returned for the completion wait.
+func (r *Requester) post(id CallID, data uint64) (*poolSlot, error) {
+	p := r.pool
+	sh := r.shard
+	p.requests.Inc()
+	for attempt := 0; attempt < p.opts.Timeout; attempt++ {
+		if p.stopped.Load() {
+			return nil, ErrStopped
+		}
+		s := &sh.slots[sh.head&sh.mask]
+		if s.state.Load() == slotIdle {
+			s.id = id
+			s.data = data
+			s.state.Store(slotPosted)
+			sh.head++
+			if p.sleepers.Load() != 0 {
+				p.wake.Signal()
+			}
+			return s, nil
+		}
+		// Window full: every slot in the ring holds an in-flight or
+		// un-reaped call.  Yield so responders (and, on a single
+		// hardware thread, the goroutine that must reap) can run.
+		pause()
+	}
+	p.timeouts.Inc()
+	return nil, ErrTimeout
+}
+
+// Call executes call-table entry id with data through the fabric and
+// waits for the result.  It returns ErrTimeout when the requester's
+// window stayed full for the attempt budget (fall back to a regular SDK
+// call, as in the paper's starvation mitigation) and ErrStopped after
+// Stop.  The path performs no allocation.
+func (r *Requester) Call(id CallID, data uint64) (uint64, error) {
+	s, err := r.post(id, data)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if s.state.Load() == slotDone {
+			ret := s.ret
+			s.state.Store(slotIdle)
+			return ret, nil
+		}
+		if r.pool.stopped.Load() {
+			return 0, ErrStopped
+		}
+		pause()
+	}
+}
+
+// CallOrFallback is Call with the paper's starvation mitigation: a
+// submission timeout degrades to the fallback path instead of failing.
+func (r *Requester) CallOrFallback(id CallID, data uint64, fallback func() (uint64, error)) (uint64, error) {
+	ret, err := r.Call(id, data)
+	if err == ErrTimeout {
+		return fallback()
+	}
+	return ret, err
+}
+
+// PoolPending is a handle to an asynchronous fabric call.  Handles come
+// from a sync.Pool and are recycled when the call is collected, so the
+// steady-state Submit/Wait path allocates nothing.  A collected handle
+// must not be reused.
+type PoolPending struct {
+	pool *CallPool
+	slot *poolSlot
+}
+
+// Submit plants a call without waiting.  Up to SlotsPerShard calls may
+// be in flight per requester; beyond that Submit spins on the window
+// and eventually returns ErrTimeout.  Calls complete in submission
+// order per requester (the ring is FIFO), so collecting the oldest
+// Pending first keeps the window moving.
+func (r *Requester) Submit(id CallID, data uint64) (*PoolPending, error) {
+	s, err := r.post(id, data)
+	if err != nil {
+		return nil, err
+	}
+	pd := r.pool.pendingPool.Get().(*PoolPending)
+	pd.pool = r.pool
+	pd.slot = s
+	return pd, nil
+}
+
+// Poll checks for completion without blocking.  Once it returns a
+// result the handle is recycled and the slot is free for reuse.
+func (pd *PoolPending) Poll() (uint64, error) {
+	s := pd.slot
+	if s.state.Load() == slotDone {
+		ret := s.ret
+		s.state.Store(slotIdle)
+		pd.release()
+		return ret, nil
+	}
+	if pd.pool.stopped.Load() {
+		pd.release()
+		return 0, ErrStopped
+	}
+	return 0, ErrNotComplete
+}
+
+// Wait blocks (yielding) until the call completes.
+func (pd *PoolPending) Wait() (uint64, error) {
+	for {
+		ret, err := pd.Poll()
+		if err != ErrNotComplete {
+			return ret, err
+		}
+		pause()
+	}
+}
+
+func (pd *PoolPending) release() {
+	pool := pd.pool
+	pd.pool = nil
+	pd.slot = nil
+	pool.pendingPool.Put(pd)
+}

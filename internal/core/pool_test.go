@@ -1,0 +1,430 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotcalls/internal/telemetry"
+)
+
+// echoTable is the minimal fabric call table: entry 0 echoes its payload.
+func echoTable() []PoolFunc {
+	return []PoolFunc{
+		func(_ int, data uint64) uint64 { return data },
+		func(requester int, data uint64) uint64 { return data + uint64(requester) },
+	}
+}
+
+// fastPool returns options tuned for tests: tiny control window and
+// backoff ladder so adaptive transitions happen in microseconds, not
+// milliseconds.
+func fastPool(shards, maxResponders int) PoolOptions {
+	return PoolOptions{
+		Shards:        shards,
+		SlotsPerShard: 16,
+		MinResponders: 1,
+		MaxResponders: maxResponders,
+		Timeout:       1 << 20,
+		ControlWindow: 8,
+		SpinPasses:    2,
+		YieldPasses:   4,
+	}
+}
+
+func TestPoolCallRoundTrip(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(2, 2))
+	p.Start()
+	defer p.Stop()
+
+	r := p.Requester()
+	for i := uint64(0); i < 500; i++ {
+		ret, err := r.Call(0, i)
+		if err != nil || ret != i {
+			t.Fatalf("Call(%d) = (%d, %v)", i, ret, err)
+		}
+	}
+	// Entry 1 sees the requester's shard index.
+	ret, err := r.Call(1, 100)
+	if err != nil || ret != 100+uint64(r.Index()) {
+		t.Fatalf("Call with requester arg = (%d, %v), idx %d", ret, err, r.Index())
+	}
+}
+
+func TestPoolSubmitWindowPipelines(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(1, 1))
+	p.Start()
+	defer p.Stop()
+
+	r := p.Requester()
+	const window = 16
+	pending := make([]*PoolPending, 0, window)
+	next := uint64(0)
+	collected := uint64(0)
+	for collected < 2000 {
+		for len(pending) < window {
+			pd, err := r.Submit(0, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending = append(pending, pd)
+			next++
+		}
+		// Collect in FIFO order — the ring completes oldest-first.
+		ret, err := pending[0].Wait()
+		if err != nil || ret != collected {
+			t.Fatalf("call %d = (%d, %v)", collected, ret, err)
+		}
+		pending = pending[:copy(pending, pending[1:])]
+		collected++
+	}
+	for _, pd := range pending {
+		if _, err := pd.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolCorruptedCallID(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(1, 1))
+	p.Start()
+	defer p.Stop()
+	r := p.Requester()
+	ret, err := r.Call(CallID(99), 7)
+	if err != nil || ret != ^uint64(0) {
+		t.Fatalf("out-of-table call = (%#x, %v), want sentinel", ret, err)
+	}
+}
+
+func TestPoolRequesterExhaustionPanics(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(1, 1))
+	p.Requester()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Requester on a 1-shard pool did not panic")
+		}
+	}()
+	p.Requester()
+}
+
+func TestPoolStop(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(2, 2))
+	p.Start()
+	r := p.Requester()
+	if _, err := r.Call(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if p.Responders() != 0 {
+		t.Fatalf("%d responders alive after Stop", p.Responders())
+	}
+	if _, err := r.Call(0, 2); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Call after Stop: %v, want ErrStopped", err)
+	}
+	if _, err := r.Submit(0, 3); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after Stop: %v, want ErrStopped", err)
+	}
+}
+
+func TestPoolSubmitTimeoutWhenSaturated(t *testing.T) {
+	// No responders started: the window fills and stays full, so the
+	// attempt budget expires — the paper's starvation signal.
+	opts := fastPool(1, 1)
+	opts.SlotsPerShard = 2
+	opts.Timeout = 3
+	p := NewCallPool(echoTable(), opts)
+	r := p.Requester()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Submit(0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Submit(0, 9); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Submit on full window: %v, want ErrTimeout", err)
+	}
+	// CallOrFallback degrades to the fallback path on the same signal.
+	ret, err := r.CallOrFallback(0, 9, func() (uint64, error) { return 42, nil })
+	if err != nil || ret != 42 {
+		t.Fatalf("CallOrFallback = (%d, %v), want fallback 42", ret, err)
+	}
+}
+
+// TestPoolCallZeroAlloc is the zero-allocation contract of the tentpole:
+// the synchronous path and the windowed submit/collect path allocate
+// nothing in steady state.
+func TestPoolCallZeroAlloc(t *testing.T) {
+	p := NewCallPool(echoTable(), fastPool(1, 1))
+	p.SetTelemetry(telemetry.New()) // live counters must stay alloc-free too
+	p.Start()
+	defer p.Stop()
+	r := p.Requester()
+
+	// Warm: first Submit populates the sync.Pool.
+	if pd, err := r.Submit(0, 0); err != nil {
+		t.Fatal(err)
+	} else if _, err := pd.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := r.Call(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Call allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		pd, err := r.Submit(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pd.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Submit/Wait allocates %.1f per op, want 0", n)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}
+
+// poolLoad drives windowed async traffic through r until stop flips —
+// the batch submission pattern the fabric is built for, and the only
+// load shape that shows the controller real occupancy on a single
+// hardware thread (synchronous one-at-a-time calls leave the responder
+// scanning empty rings between requester quanta).
+func poolLoad(r *Requester, stop *atomic.Bool) {
+	const window = 16
+	pending := make([]*PoolPending, 0, window)
+	for i := uint64(0); !stop.Load(); {
+		for len(pending) < window {
+			pd, err := r.Submit(0, i)
+			if err != nil {
+				return
+			}
+			pending = append(pending, pd)
+			i++
+		}
+		for _, pd := range pending {
+			if _, err := pd.Wait(); err != nil {
+				return
+			}
+		}
+		pending = pending[:0]
+	}
+	for _, pd := range pending {
+		pd.Poll()
+	}
+}
+
+// TestPoolAdaptiveScaleUp drives sustained traffic through every shard
+// and requires the controller to grow the responder pool from its floor.
+func TestPoolAdaptiveScaleUp(t *testing.T) {
+	const shards = 2
+	p := NewCallPool(echoTable(), fastPool(shards, 3))
+	p.SetTelemetry(telemetry.New())
+	p.Start()
+	defer p.Stop()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		r := p.Requester()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			poolLoad(r, &stop)
+		}()
+	}
+	waitFor(t, 5*time.Second, func() bool { return p.Responders() > 1 },
+		"adaptive scale-up under sustained load")
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestPoolIdleShrink is the idle acceptance test: after load stops, the
+// pool must walk back down to exactly one responder, asleep on the wake
+// condition — the "conserving resources at idle times" end state.
+func TestPoolIdleShrink(t *testing.T) {
+	const shards = 2
+	p := NewCallPool(echoTable(), fastPool(shards, 3))
+	p.Start()
+	defer p.Stop()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	reqs := make([]*Requester, shards)
+	for s := 0; s < shards; s++ {
+		reqs[s] = p.Requester()
+		r := reqs[s]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			poolLoad(r, &stop)
+		}()
+	}
+	waitFor(t, 5*time.Second, func() bool { return p.Responders() > 1 }, "scale-up before shrink")
+	stop.Store(true)
+	wg.Wait()
+
+	waitFor(t, 5*time.Second, func() bool {
+		return p.Responders() == 1 && p.SleepingResponders() == 1
+	}, "idle shrink to one sleeping responder")
+
+	// The parked pool still serves the next burst (shard 0's goroutine
+	// has exited, so its requester handle is free to reuse).
+	if ret, err := reqs[0].Call(0, 77); err != nil || ret != 77 {
+		t.Fatalf("call after idle shrink = (%d, %v)", ret, err)
+	}
+}
+
+// TestPoolConcurrentChurn is the -race coverage for the fabric:
+// concurrent requesters on every shard, the responder bounds being
+// rewritten underneath the controller, and a Stop racing the traffic.
+func TestPoolConcurrentChurn(t *testing.T) {
+	shards := runtime.GOMAXPROCS(0) + 2
+	opts := fastPool(shards, 4)
+	opts.Timeout = 64 // let saturation surface as ErrTimeout, not a hang
+	p := NewCallPool(echoTable(), opts)
+	p.SetTelemetry(telemetry.New())
+	p.Start()
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		r := p.Requester()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pending := make([]*PoolPending, 0, 8)
+			for i := uint64(0); ; i++ {
+				pd, err := r.Submit(0, i)
+				if errors.Is(err, ErrStopped) {
+					break
+				}
+				if errors.Is(err, ErrTimeout) {
+					continue
+				}
+				pending = append(pending, pd)
+				if len(pending) == cap(pending) {
+					for _, pd := range pending {
+						if _, err := pd.Wait(); errors.Is(err, ErrStopped) {
+							break
+						}
+					}
+					pending = pending[:0]
+				}
+			}
+			for _, pd := range pending {
+				pd.Poll() // drain whatever completed before Stop
+			}
+		}()
+	}
+	// Resize churn while traffic flows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			p.SetResponderBounds(1+i%2, 2+i%3)
+			runtime.Gosched()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	wg.Wait()
+
+	polls, execs := p.Stats()
+	if polls == 0 || execs == 0 {
+		t.Fatalf("no traffic observed: polls=%d execs=%d", polls, execs)
+	}
+}
+
+// TestPoolTelemetryExports checks the controller's decisions land in the
+// registry: live/max responder gauges, occupancy, and scale event
+// counters.
+func TestPoolTelemetryExports(t *testing.T) {
+	reg := telemetry.New()
+	p := NewCallPool(echoTable(), fastPool(1, 2))
+	p.SetTelemetry(reg)
+	p.Start()
+	r := p.Requester()
+	for i := uint64(0); i < 200; i++ {
+		if _, err := r.Call(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[telemetry.MetricHotCallRequests] < 200 {
+		t.Fatalf("requests counter = %d, want >= 200", snap.Counters[telemetry.MetricHotCallRequests])
+	}
+	if snap.Counters[telemetry.MetricResponderPolls] == 0 {
+		t.Fatal("responder polls counter never moved")
+	}
+	if snap.Counters[telemetry.MetricResponderExecutes] < 200 {
+		t.Fatalf("executes counter = %d, want >= 200", snap.Counters[telemetry.MetricResponderExecutes])
+	}
+	if g := snap.Gauges[telemetry.MetricPoolResponders]; g < 1 {
+		t.Fatalf("live-responder gauge = %d, want >= 1", g)
+	}
+	if g := snap.Gauges[telemetry.MetricPoolRespondersMax]; g != 2 {
+		t.Fatalf("max-responder gauge = %d, want 2", g)
+	}
+	p.Stop()
+	if g := reg.Snapshot().Gauges[telemetry.MetricPoolResponders]; g != 0 {
+		t.Fatalf("live-responder gauge = %d after Stop, want 0", g)
+	}
+}
+
+// TestMultiResponderScanFairness pins the rotation fix: each pass must
+// hand first service to a different slot.  The pre-fix linear scan
+// serves slot 0 first on every pass — permanent priority that compounds
+// into starvation under saturation — and fails this test on its second
+// pass.
+func TestMultiResponderScanFairness(t *testing.T) {
+	const n = 4
+	hcs := make([]*HotCall, n)
+	for i := range hcs {
+		hcs[i] = &HotCall{}
+	}
+	var order []uint64
+	m := NewMultiResponder(hcs, []func(interface{}) uint64{
+		func(d interface{}) uint64 { order = append(order, d.(uint64)); return 0 },
+	})
+	for pass := 0; pass < 2*n; pass++ {
+		order = order[:0]
+		pending := make([]*Pending, n)
+		for i := range hcs {
+			pd, err := hcs[i].Submit(0, uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pending[i] = pd
+		}
+		// Drive exactly one scan pass, synchronously: service order is
+		// deterministic, no responder goroutine involved.
+		if !m.runPass() {
+			t.Fatal("runPass reported all slots stopped")
+		}
+		for i, pd := range pending {
+			if _, err := pd.Wait(); err != nil {
+				t.Fatalf("slot %d: %v", i, err)
+			}
+		}
+		if want := uint64(pass % n); order[0] != want {
+			t.Fatalf("pass %d served slot %d first, want %d: scan start must rotate",
+				pass, order[0], want)
+		}
+	}
+}

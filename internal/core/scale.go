@@ -1,0 +1,257 @@
+package core
+
+// This file is the fabric's responder side: a pool of polling goroutines
+// that claim work across every shard, sized adaptively the way "SGX
+// Switchless Calls Made Configless" argues the worker knob should be —
+// from observed occupancy, not static configuration.  The paper's own
+// Section 4.2 frames the trade: every polling core is burned capacity,
+// so the pool grows a responder only while slot inspections keep finding
+// work, and idles surplus responders down the spin→yield→sleep ladder
+// until one sleeping responder remains.
+
+// Start launches the responder pool at MinResponders.  The primary
+// responder (index 0) doubles as the adaptive controller; it is never
+// retired, so the pool always has a responder to wake.
+func (p *CallPool) Start() {
+	n := int(p.target.Load())
+	for i := 0; i < n; i++ {
+		p.spawn(i)
+	}
+}
+
+// spawn launches one responder goroutine.  Called from Start and from
+// the controller (primary responder) only, so spawns never race.
+func (p *CallPool) spawn(idx int) {
+	p.wg.Add(1)
+	p.liveGauge.Set(int64(p.live.Add(1)))
+	go p.runResponder(idx)
+}
+
+// Responders returns the number of live responder goroutines.
+func (p *CallPool) Responders() int { return int(p.live.Load()) }
+
+// SleepingResponders returns how many responders are parked on the wake
+// condition variable.
+func (p *CallPool) SleepingResponders() int { return int(p.sleepers.Load()) }
+
+// Stats returns the pool-wide slot-inspection and execution totals; the
+// ratio is the occupancy the adaptive controller steers by.
+func (p *CallPool) Stats() (polls, executes uint64) {
+	return p.polls.Load(), p.executes.Load()
+}
+
+// SetResponderBounds adjusts the adaptive pool's [min, max] responder
+// range at runtime.  min is clamped to at least 1.  The controller
+// enforces the new bounds at its next decision point, so they take
+// effect while traffic is flowing.
+func (p *CallPool) SetResponderBounds(min, max int) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	p.minR.Store(int32(min))
+	p.maxR.Store(int32(max))
+	p.maxGauge.Set(int64(max))
+	// Kick sleeping responders so a lowered max retires parked surplus
+	// promptly instead of on the next wake.
+	p.wake.Broadcast()
+}
+
+// runResponder is one responder's loop: claim work across all shards
+// with a rotating scan start, back off through the spin→yield→sleep
+// ladder when passes come up empty, and retire when the adaptive target
+// drops below this responder's index.
+func (p *CallPool) runResponder(idx int) {
+	defer p.wg.Done()
+	defer func() { p.liveGauge.Set(int64(p.live.Add(-1))) }()
+
+	spin := p.opts.SpinPasses
+	yield := p.opts.YieldPasses
+	empty := 0
+	pass := idx // stagger scan starts across responders
+	// Window counters for this responder's occupancy gauge.
+	var winPolls, winExec uint64
+
+	for {
+		if p.stopped.Load() {
+			return
+		}
+		if idx > 0 && int32(idx) >= p.target.Load() {
+			return // retired by the controller
+		}
+		polls, execs := p.scanPass(pass)
+		pass++
+		winPolls += polls
+		winExec += execs
+		p.polls.Add(polls)
+		p.executes.Add(execs)
+		p.pollCtr.Add(polls)
+		if execs > 0 {
+			p.executeCtr.Add(execs)
+		}
+
+		if idx == 0 && pass%p.opts.ControlWindow == 0 {
+			p.control()
+		}
+		if idx < len(p.respOcc) && pass%p.opts.ControlWindow == 0 {
+			p.respOcc[idx].Set(occupancyMilli(winPolls, winExec))
+			winPolls, winExec = 0, 0
+		}
+
+		if execs > 0 {
+			empty = 0
+			continue
+		}
+		empty++
+		switch {
+		case empty <= spin:
+			// Hot re-scan: the cheapest way to catch a call posted
+			// microseconds after the last look.
+		case empty <= spin+yield:
+			pause()
+		default:
+			// The primary reaches the sleep threshold with surplus
+			// responders still live when idleness set in mid-window: it
+			// must not park yet, or no controller pass would ever shed
+			// them and the pool would idle at N sleepers instead of
+			// one.  Force a decision now and hold the yield rung until
+			// the pool has drained to the floor.
+			if idx == 0 && (p.target.Load() > p.minR.Load() || p.live.Load() > p.target.Load()) {
+				p.control()
+				empty = spin
+				pause()
+				continue
+			}
+			// Sleep until a requester posts, Stop, or retirement.  The
+			// sleeper count is published before the condition check, so
+			// a requester that misses it in post() is one whose work
+			// the check below already sees (both are seq-cst atomics).
+			p.sleepCtr.Inc()
+			p.sleepers.Add(1)
+			p.wake.Wait(func() bool {
+				if p.stopped.Load() || (idx > 0 && int32(idx) >= p.target.Load()) {
+					return true
+				}
+				return p.hasAnyWork()
+			})
+			p.sleepers.Add(-1)
+			empty = 0
+		}
+	}
+}
+
+// scanPass visits every shard once, starting at a rotated offset so no
+// shard holds permanent first-served priority, and drains up to a ring's
+// worth of posted calls per shard.  It returns the number of slot
+// inspections and executed calls.
+func (p *CallPool) scanPass(pass int) (polls, execs uint64) {
+	n := len(p.shards)
+	for k := 0; k < n; k++ {
+		shardIdx := (pass + k) % n
+		sh := p.shards[shardIdx]
+		// Bound the per-visit drain by the ring depth: a requester that
+		// posts as fast as we execute must not pin the responder to one
+		// shard forever.
+		for b := 0; b < len(sh.slots); b++ {
+			t := sh.tail.Load()
+			s := &sh.slots[t&sh.mask]
+			polls++
+			if s.state.Load() != slotPosted {
+				break
+			}
+			if !sh.tail.CompareAndSwap(t, t+1) {
+				continue // another responder claimed it; re-look
+			}
+			// The CAS makes call t exclusively ours: execute, publish
+			// the result on the responder-written line, then signal
+			// completion with the one state store.
+			id, data := s.id, s.data
+			var ret uint64
+			if int(id) < 0 || int(id) >= len(p.table) {
+				ret = ^uint64(0) // corrupted call_ID: sentinel, as in hotcalls.go
+			} else {
+				ret = p.table[id](shardIdx, data)
+			}
+			s.ret = ret
+			s.state.Store(slotDone)
+			execs++
+		}
+	}
+	return polls, execs
+}
+
+// hasAnyWork reports whether any shard has a posted, unclaimed call.
+func (p *CallPool) hasAnyWork() bool {
+	for _, sh := range p.shards {
+		if sh.hasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// control is the adaptive decision point, run on the primary responder
+// every ControlWindow passes: compute the pool-wide occupancy over the
+// window just finished and grow or shrink the responder count toward
+// the watermarks.  Transitions settle one at a time — no new decision
+// while a retiring responder is still draining — so live never
+// overshoots the bounds.
+func (p *CallPool) control() {
+	polls := p.polls.Load()
+	execs := p.executes.Load()
+	dPolls := polls - p.ctrlPolls
+	dExecs := execs - p.ctrlExecutes
+	p.ctrlPolls, p.ctrlExecutes = polls, execs
+
+	var occ float64
+	if dPolls > 0 {
+		occ = float64(dExecs) / float64(dPolls)
+	}
+	p.occGauge.Set(occupancyMilli(dPolls, dExecs))
+
+	target := p.target.Load()
+	if p.live.Load() != target {
+		return // a previous decision is still taking effect
+	}
+	min, max := p.minR.Load(), p.maxR.Load()
+	switch {
+	case target < min:
+		p.scaleUp(target)
+	case target > max:
+		p.scaleDown(target)
+	case occ >= p.opts.ScaleUpOccupancy && target < max:
+		p.scaleUp(target)
+	case occ <= p.opts.ScaleDownOccupancy && target > min:
+		p.scaleDown(target)
+	}
+}
+
+// scaleUp grows the pool by one responder.
+func (p *CallPool) scaleUp(target int32) {
+	p.target.Store(target + 1)
+	p.scaleUps.Inc()
+	p.spawn(int(target))
+}
+
+// scaleDown retires the highest-indexed responder: it exits at its next
+// pass boundary (or wakes from sleep to exit).
+func (p *CallPool) scaleDown(target int32) {
+	p.target.Store(target - 1)
+	p.scaleDowns.Inc()
+	p.wake.Broadcast()
+}
+
+// occupancyMilli renders an occupancy fraction as the integer gauge unit
+// (thousandths) the telemetry registry exports.
+func occupancyMilli(polls, execs uint64) int64 {
+	return int64(float64(execs) / float64(maxU64(polls, 1)) * 1000)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -77,6 +77,9 @@ type Thresholds struct {
 	// EPC thrash.
 	EPCWarnEvictions uint64 // interval evictions → Warning
 	EPCCritEvictions uint64 // → Critical
+
+	// Responder-pool saturation (the adaptive fabric's ceiling).
+	PoolSatOccupancy float64 // window occupancy at max responders → Warning
 }
 
 // DefaultThresholds returns the stock tuning.  The latency objective is
@@ -104,6 +107,8 @@ func DefaultThresholds() Thresholds {
 
 		EPCWarnEvictions: 256,
 		EPCCritEvictions: 4096,
+
+		PoolSatOccupancy: 0.5, // the controller's default scale-up watermark
 	}
 }
 
@@ -114,6 +119,7 @@ func DefaultRules(t Thresholds) []Rule {
 		&SpinWasteRule{T: t},
 		&LatencySLORule{T: t},
 		&EPCThrashRule{T: t},
+		&PoolSaturationRule{T: t},
 	}
 }
 
@@ -294,6 +300,48 @@ func (r *LatencySLORule) Evaluate(window []Sample) []Event {
 				"window — sustained tail regression, not a blip (look for fallback storms, EPC "+
 				"thrash, or a preempted responder in the same windows)",
 			quantile, value, objective, fast*100, slow*100),
+	}}
+}
+
+// PoolSaturationRule watches the adaptive responder pool's ceiling: the
+// controller grows the pool while occupancy stays above its watermark,
+// so a pool sitting *at* MaxResponders with occupancy still above the
+// watermark has no headroom left — demand outruns the configured core
+// budget, and the next step is submission timeouts degrading calls onto
+// the SDK-fallback cliff.  Timeouts in the same interval escalate the
+// event to Critical because that cliff is already being paid.
+type PoolSaturationRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *PoolSaturationRule) Name() string { return "pool-saturation" }
+
+// Evaluate implements Rule.
+func (r *PoolSaturationRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || s.PoolRespondersMax == 0 {
+		return nil // no fabric attached to this registry
+	}
+	if s.PoolResponders < s.PoolRespondersMax {
+		return nil // headroom remains; the controller can still grow
+	}
+	occ := float64(s.PoolOccupancyMilli) / 1000
+	if occ < r.T.PoolSatOccupancy {
+		return nil
+	}
+	sev := Warning
+	if s.DTimeouts > 0 {
+		sev = Critical
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: occ, Threshold: r.T.PoolSatOccupancy,
+		Diagnosis: fmt.Sprintf(
+			"responder pool saturated: %d/%d responders live with window occupancy %.2f still "+
+				"over the %.2f scale-up watermark (%d timeouts this interval); the adaptive "+
+				"controller has no headroom left — raise MaxResponders (more polling cores), "+
+				"widen requester windows, or shed load before submissions start falling back "+
+				"to SDK calls",
+			s.PoolResponders, s.PoolRespondersMax, occ, r.T.PoolSatOccupancy, s.DTimeouts),
 	}}
 }
 

@@ -50,6 +50,13 @@ type Sample struct {
 	PendingDepth int64 `json:"pending_depth"`
 	EPCResident  int64 `json:"epc_resident_pages"`
 
+	// Adaptive responder-pool fabric (internal/core CallPool).
+	ScaleUps           uint64 `json:"pool_scale_ups"`
+	ScaleDowns         uint64 `json:"pool_scale_downs"`
+	PoolResponders     int64  `json:"pool_responders"`
+	PoolRespondersMax  int64  `json:"pool_responders_max"`
+	PoolOccupancyMilli int64  `json:"pool_occupancy_milli"`
+
 	// Interval deltas (zero on the first sample).
 	DSubmissions uint64 `json:"d_submissions"`
 	DTimeouts    uint64 `json:"d_timeouts"`
@@ -59,6 +66,8 @@ type Sample struct {
 	DSpinCycles  uint64 `json:"d_spin_cycles"`
 	DEPCFaults   uint64 `json:"d_epc_faults"`
 	DEPCEvicts   uint64 `json:"d_epc_evictions"`
+	DScaleUps    uint64 `json:"d_pool_scale_ups"`
+	DScaleDowns  uint64 `json:"d_pool_scale_downs"`
 
 	// Derived interval signals.
 	TimeoutRate  float64 `json:"timeout_rate"`  // Δtimeouts / Δsubmissions
@@ -145,6 +154,12 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 
 		PendingDepth: snap.Gauges[telemetry.MetricPendingDepth],
 		EPCResident:  snap.Gauges[telemetry.MetricEPCResident],
+
+		ScaleUps:           c[telemetry.MetricPoolScaleUps],
+		ScaleDowns:         c[telemetry.MetricPoolScaleDowns],
+		PoolResponders:     snap.Gauges[telemetry.MetricPoolResponders],
+		PoolRespondersMax:  snap.Gauges[telemetry.MetricPoolRespondersMax],
+		PoolOccupancyMilli: snap.Gauges[telemetry.MetricPoolOccupancyMilli],
 	}
 	sa.seq++
 	if !sa.hasPrev {
@@ -171,6 +186,8 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	s.DSpinCycles = sub(s.SpinCycles, p[telemetry.MetricSpinCycles])
 	s.DEPCFaults = sub(s.EPCFaults, p[telemetry.MetricEPCFaults])
 	s.DEPCEvicts = sub(s.EPCEvictions, p[telemetry.MetricEPCEvictions])
+	s.DScaleUps = sub(s.ScaleUps, p[telemetry.MetricPoolScaleUps])
+	s.DScaleDowns = sub(s.ScaleDowns, p[telemetry.MetricPoolScaleDowns])
 
 	// The request counter increments per Call/Submit attempt whether or
 	// not submission succeeded, so the rates are per attempted call.

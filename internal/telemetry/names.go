@@ -40,10 +40,34 @@ const (
 	MetricOcallCycles   = "ocall_cycles"
 	MetricHotCallCycles = "hotcall_cycles"
 
+	// Adaptive responder-pool fabric (Section 4.2's multi-requester
+	// story): scale decisions and occupancy, exported so the monitor can
+	// flag a saturated pool.
+	MetricPoolScaleUps       = "hotcall_pool_scale_ups_total"
+	MetricPoolScaleDowns     = "hotcall_pool_scale_downs_total"
+	MetricPoolResponders     = "hotcall_pool_responders"      // live responder goroutines
+	MetricPoolRespondersMax  = "hotcall_pool_responders_max"  // adaptive ceiling
+	MetricPoolOccupancyMilli = "hotcall_pool_occupancy_milli" // window occupancy, thousandths
+
 	// Point-in-time gauges.
 	MetricPendingDepth = "hotcall_pending_depth" // in-flight async HotCall requests
 	MetricEPCResident  = "epc_resident_pages"    // pages currently in the EPC
 )
+
+// PoolResponderOccupancyMetric names the per-responder occupancy gauge
+// for responder i (thousandths, same unit as MetricPoolOccupancyMilli).
+func PoolResponderOccupancyMetric(i int) string {
+	return "hotcall_pool_responder_occupancy_milli_" + itoa(i)
+}
+
+// itoa is a tiny allocation-free-enough strconv.Itoa for small indices;
+// metric names are built once at attach time, never on the hot path.
+func itoa(i int) string {
+	if i < 10 {
+		return string([]byte{'0' + byte(i)})
+	}
+	return itoa(i/10) + itoa(i%10)
+}
 
 // standardCounters and standardHistograms are the names RegisterStandard
 // pre-creates.
@@ -54,6 +78,7 @@ var standardCounters = []string{
 	MetricEPCFaults, MetricEPCEvictions, MetricMEENodeHits, MetricMEENodeMiss,
 	MetricResponderPolls, MetricResponderExecutes, MetricResponderSleeps,
 	MetricSpinCycles,
+	MetricPoolScaleUps, MetricPoolScaleDowns,
 }
 
 var standardHistograms = []string{
@@ -62,6 +87,7 @@ var standardHistograms = []string{
 
 var standardGauges = []string{
 	MetricPendingDepth, MetricEPCResident,
+	MetricPoolResponders, MetricPoolRespondersMax, MetricPoolOccupancyMilli,
 }
 
 // RegisterStandard pre-creates the standard boundary metrics so exports
