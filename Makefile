@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead bench-scaling experiments report bench-json bench-regress profile
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -20,7 +20,7 @@ test:
 # are the packages with real cross-goroutine traffic; run them under the
 # race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -50,6 +50,16 @@ dist-overhead:
 # budget, recorded in EXPERIMENTS.md).
 monitor-overhead:
 	$(GO) test -run '^$$' -bench 'BenchmarkCall(Telemetry|Monitored|TickerControl)|BenchmarkTick' -benchtime 2s -count 5 ./internal/monitor/
+
+# flight-overhead is the instrumented pair for the flight recorder: the
+# fabric call path bare vs with a live recorder at the default 1-in-256
+# sampling (<=1% budget, recorded in EXPERIMENTS.md).  The hotbench
+# flight experiment interleaves the pair in one process and gates the
+# median throughput ratio under the flight/* band of bench-regress; the
+# Go benchmark pair gives the separate-process ns/op view.
+flight-overhead:
+	$(GO) run ./cmd/hotbench -run flight
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolCall$$|BenchmarkPoolCallFlight' -benchtime 1s -count 5 ./internal/core/
 
 # bench-scaling runs the fabric throughput-scaling curve (requesters x
 # responders over the CallPool, plus the fabric-routed app paths) and the

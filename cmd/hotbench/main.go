@@ -18,6 +18,8 @@
 //	hotbench -run all -bench-json BENCH_hotcalls.json
 //	hotbench -run all -monitor             # health summary + alerts after the run
 //	hotbench -run all -watch               # live monitor table, redrawn in place
+//	hotbench -run scaling -flight          # per-callsite flight-recorder table
+//	hotbench -run scaling -flight-trace f.json # causal window as Chrome trace
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"hotcalls/internal/bench"
+	"hotcalls/internal/flight"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/profile"
 	"hotcalls/internal/telemetry"
@@ -55,6 +58,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmark results (medians, speedups, metadata) as JSON to this path")
 	monitorFlag := flag.Bool("monitor", false, "run the continuous health monitor during the experiments and print its verdict and alerts afterwards")
 	watch := flag.Bool("watch", false, "like -monitor, but redraw a live sample table in place while experiments run")
+	flightFlag := flag.Bool("flight", false, "attach the flight recorder to every fabric the experiments build and print the per-callsite table afterwards")
+	flightTrace := flag.String("flight-trace", "", "like -flight, and also write a Chrome trace_event JSON of the recorder's final causal window to this path")
 	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
 
@@ -62,6 +67,34 @@ func main() {
 
 	if *watch {
 		*monitorFlag = true
+	}
+	if *flightTrace != "" {
+		*flightFlag = true
+	}
+
+	var rec *flight.Recorder
+	var flightStop, flightDone chan struct{}
+	if *flightFlag {
+		rec = flight.New(flight.Options{})
+		bench.SetFlight(rec)
+		// Digest continuously so per-callsite stats survive fixture
+		// teardown: a recorder follows one fabric at a time, and records
+		// left undigested when an experiment rebinds it are dropped.
+		flightStop = make(chan struct{})
+		flightDone = make(chan struct{})
+		go func() {
+			defer close(flightDone)
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-flightStop:
+					return
+				case <-t.C:
+					rec.Digest()
+				}
+			}
+		}()
 	}
 
 	var reg *telemetry.Registry
@@ -109,7 +142,7 @@ func main() {
 	var mon *monitor.Monitor
 	var watchStop, watchDone chan struct{}
 	if *monitorFlag {
-		mon = monitor.New(reg, monitor.Options{})
+		mon = monitor.New(reg, monitor.Options{Flight: rec})
 		mon.Tick() // baseline sample so even sub-interval runs show deltas
 		mon.Start()
 		if *watch {
@@ -152,6 +185,29 @@ func main() {
 		fmt.Print(mon.RenderText(10))
 		if dropped := mon.DroppedEvents(); dropped > 0 {
 			fmt.Printf("(%d older events dropped from the bounded log)\n", dropped)
+		}
+	}
+	if rec != nil {
+		close(flightStop)
+		<-flightDone
+		rec.Digest()
+		fmt.Println("=== flight ===")
+		fmt.Print(rec.RenderText())
+		if *flightTrace != "" {
+			f, err := os.Create(*flightTrace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+				os.Exit(1)
+			}
+			err = rec.WriteChromeTrace(f, 4096)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hotbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *flightTrace)
 		}
 	}
 	if *metrics {

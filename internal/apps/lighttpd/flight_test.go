@@ -1,0 +1,72 @@
+package lighttpd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/telemetry"
+)
+
+// TestPoolServerFlightCallsites checks that fabric-routed requests are
+// attributed to the per-method callsites.
+func TestPoolServerFlightCallsites(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(2))
+	s.SetTelemetry(telemetry.New())
+	rec := flight.New(flight.Options{SampleEvery: 1})
+	s.SetFlight(rec)
+	s.Start()
+	defer s.Stop()
+
+	c := s.Conn(0)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Do("GET /index.html HTTP/1.0\r\n\r\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("HEAD /index.html HTTP/1.0\r\n\r\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := map[string]uint64{"http.get": 8, "http.head": 3}
+	for _, cs := range rec.Stats() {
+		if n, ok := want[cs.Name]; ok {
+			if cs.Arrivals != n {
+				t.Errorf("%s arrivals = %d, want %d", cs.Name, cs.Arrivals, n)
+			}
+			delete(want, cs.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("callsite %q missing from stats table", name)
+	}
+}
+
+// TestPoolServerDebugMuxFlight checks the fabric server's debug surface
+// serves /debug/flight once a recorder is attached.
+func TestPoolServerDebugMuxFlight(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(2))
+	s.SetTelemetry(telemetry.New())
+	s.SetFlight(flight.New(flight.Options{SampleEvery: 1}))
+	s.Start()
+	defer s.Stop()
+	if _, err := s.Conn(0).Do("GET /index.html HTTP/1.0\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(s.DebugMux())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/health", "/debug/monitor", "/debug/flight"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

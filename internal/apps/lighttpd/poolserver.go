@@ -11,8 +11,12 @@ package lighttpd
 
 import (
 	"fmt"
+	"net/http"
+	"strings"
 
 	"hotcalls/internal/core"
+	"hotcalls/internal/flight"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
 )
 
@@ -32,6 +36,13 @@ type PoolServer struct {
 	pool    *core.CallPool
 	docroot map[string][]byte
 	conns   []*PoolConn
+
+	reg *telemetry.Registry
+	mon *monitor.Monitor
+
+	// Flight callsites per request method (zero — unlabelled — until
+	// SetFlight registers them).
+	csGet, csHead flight.Callsite
 }
 
 // NewPoolServer builds a fabric-routed server for up to conns client
@@ -69,7 +80,47 @@ func (s *PoolServer) AddDocument(path string, body []byte) {
 
 // SetTelemetry attaches the fabric's registry handles.  Call before
 // Start.
-func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) { s.pool.SetTelemetry(reg) }
+func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.pool.SetTelemetry(reg)
+}
+
+// SetFlight attaches the flight recorder to the fabric and registers
+// the per-method callsites.  Call before Start.
+func (s *PoolServer) SetFlight(rec *flight.Recorder) {
+	s.pool.SetFlight(rec)
+	s.csGet = rec.Callsite("http.get")
+	s.csHead = rec.Callsite("http.head")
+}
+
+// callsiteFor maps a raw request line to its flight callsite with one
+// prefix check — full parsing stays on the responder side.
+func (s *PoolServer) callsiteFor(raw string) flight.Callsite {
+	if strings.HasPrefix(raw, "HEAD ") {
+		return s.csHead
+	}
+	return s.csGet
+}
+
+// EnableMonitor attaches a health monitor over the fabric's registry,
+// with the flight recorder (when attached) feeding the callsite-scoped
+// rules.  Idempotent: repeat calls return the same monitor.
+func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
+	if s.mon == nil {
+		if opts.Flight == nil {
+			opts.Flight = s.pool.Flight()
+		}
+		s.mon = monitor.New(s.reg, opts)
+	}
+	return s.mon
+}
+
+// DebugMux serves the fabric's observability surface: /metrics,
+// /debug/health, /debug/monitor, and — when SetFlight was called —
+// /debug/flight.
+func (s *PoolServer) DebugMux() *http.ServeMux {
+	return monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
+}
 
 // Pool exposes the underlying CallPool (responder bounds, stats).
 func (s *PoolServer) Pool() *core.CallPool { return s.pool }
@@ -150,7 +201,7 @@ func (c *PoolConn) Submit(raw string) (PendingResponse, error) {
 	}
 	slot := c.next
 	n := copy(c.bufs[slot].req, raw)
-	pd, err := c.req.Submit(opServeHTTP, packData(slot, n))
+	pd, err := c.req.SubmitAt(c.s.callsiteFor(raw), opServeHTTP, packData(slot, n))
 	if err != nil {
 		return PendingResponse{}, err
 	}

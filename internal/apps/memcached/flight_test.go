@@ -1,0 +1,76 @@
+package memcached
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/telemetry"
+)
+
+// TestPoolServerFlightCallsites checks that fabric-routed operations
+// are attributed to their per-op callsites.
+func TestPoolServerFlightCallsites(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(2))
+	s.SetTelemetry(telemetry.New())
+	rec := flight.New(flight.Options{SampleEvery: 1})
+	s.SetFlight(rec)
+	s.Start()
+	defer s.Stop()
+
+	c := s.Conn(0)
+	val := []byte("flightval")
+	for i := 0; i < 6; i++ {
+		if _, err := c.Do(&Request{Op: OpSet, Key: "fk", Value: val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(&Request{Op: OpGet, Key: "fk"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Do(&Request{Op: OpDelete, Key: "fk"}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]uint64{"mc.get": 10, "mc.set": 6, "mc.delete": 1}
+	for _, cs := range rec.Stats() {
+		if n, ok := want[cs.Name]; ok {
+			if cs.Arrivals != n {
+				t.Errorf("%s arrivals = %d, want %d", cs.Name, cs.Arrivals, n)
+			}
+			delete(want, cs.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("callsite %q missing from stats table", name)
+	}
+}
+
+// TestPoolServerDebugMuxFlight checks the fabric server's debug surface
+// serves /debug/flight once a recorder is attached.
+func TestPoolServerDebugMuxFlight(t *testing.T) {
+	s := NewPoolServer(1, fastPoolOpts(2))
+	s.SetTelemetry(telemetry.New())
+	s.SetFlight(flight.New(flight.Options{SampleEvery: 1}))
+	s.Start()
+	defer s.Stop()
+	if _, err := s.Conn(0).Do(&Request{Op: OpSet, Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(s.DebugMux())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/health", "/debug/monitor", "/debug/flight"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -12,9 +12,12 @@ package memcached
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
 
 	"hotcalls/internal/core"
+	"hotcalls/internal/flight"
+	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
 )
 
@@ -104,6 +107,13 @@ type PoolServer struct {
 	pool  *core.CallPool
 	store *poolStore
 	conns []*PoolConn
+
+	reg *telemetry.Registry
+	mon *monitor.Monitor
+
+	// Per-operation flight callsites (zero handles — unlabelled — until
+	// SetFlight registers them).
+	csGet, csSet, csDelete flight.Callsite
 }
 
 // NewPoolServer builds a fabric-routed server for up to conns client
@@ -127,7 +137,54 @@ func NewPoolServer(conns int, opts core.PoolOptions) *PoolServer {
 
 // SetTelemetry attaches the fabric's registry handles.  Call before
 // Start.
-func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) { s.pool.SetTelemetry(reg) }
+func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.pool.SetTelemetry(reg)
+}
+
+// SetFlight attaches the flight recorder to the fabric and registers
+// the per-operation callsites, so GETs, SETs, and DELETEs show up as
+// separate rows in the stats table instead of one undifferentiated
+// stream.  Call before Start.
+func (s *PoolServer) SetFlight(rec *flight.Recorder) {
+	s.pool.SetFlight(rec)
+	s.csGet = rec.Callsite("mc.get")
+	s.csSet = rec.Callsite("mc.set")
+	s.csDelete = rec.Callsite("mc.delete")
+}
+
+// callsiteFor maps a request opcode to its registered flight callsite.
+func (s *PoolServer) callsiteFor(op byte) flight.Callsite {
+	switch op {
+	case OpGet:
+		return s.csGet
+	case OpSet:
+		return s.csSet
+	case OpDelete:
+		return s.csDelete
+	}
+	return flight.Callsite{}
+}
+
+// EnableMonitor attaches a health monitor over the fabric's registry,
+// with the flight recorder (when attached) feeding the callsite-scoped
+// rules.  Idempotent: repeat calls return the same monitor.
+func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
+	if s.mon == nil {
+		if opts.Flight == nil {
+			opts.Flight = s.pool.Flight()
+		}
+		s.mon = monitor.New(s.reg, opts)
+	}
+	return s.mon
+}
+
+// DebugMux serves the fabric's observability surface: /metrics,
+// /debug/health, /debug/monitor, and — when SetFlight was called —
+// /debug/flight.
+func (s *PoolServer) DebugMux() *http.ServeMux {
+	return monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
+}
 
 // Pool exposes the underlying CallPool (responder bounds, stats).
 func (s *PoolServer) Pool() *core.CallPool { return s.pool }
@@ -222,7 +279,7 @@ func (c *PoolConn) Submit(r *Request) (PendingResponse, error) {
 	if err != nil {
 		return PendingResponse{}, err
 	}
-	pd, err := c.req.Submit(opServe, packData(slot, n))
+	pd, err := c.req.SubmitAt(c.s.callsiteFor(r.Op), opServe, packData(slot, n))
 	if err != nil {
 		return PendingResponse{}, err
 	}

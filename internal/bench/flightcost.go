@@ -1,0 +1,62 @@
+package bench
+
+// The flight experiment measures the flight recorder's hot-path cost on
+// the fabric: the same windowed CallPool drive loop as the scaling
+// experiment, run bare and with a live recorder at the default sampling
+// rate, interleaved round by round in one process.  Separate-process
+// benchmark pairs drift ±15% run to run on shared 1-vCPU CI hosts —
+// more than an order of magnitude over the recorder's true cost — so
+// the gated artifact is the median of same-round throughput ratios,
+// which cancels host speed and most scheduler drift.
+
+import (
+	"fmt"
+	"sort"
+
+	"hotcalls/internal/flight"
+)
+
+const (
+	// flightPairRounds bare/recorded rounds; the median ratio is gated.
+	flightPairRounds = 7
+	// flightPairCalls per round: ~40ms of fabric traffic per point.
+	flightPairCalls = 200_000
+)
+
+// runFlightCost regenerates the recorder-on/off overhead pair.
+func runFlightCost() *Report {
+	r := &Report{ID: "flight", Title: "Flight recorder hot-path overhead (recorder-on/off interleaved pairs)"}
+	rec := flight.New(flight.Options{})
+
+	bare := make([]float64, flightPairRounds)
+	recd := make([]float64, flightPairRounds)
+	ratios := make([]float64, flightPairRounds)
+	for i := 0; i < flightPairRounds; i++ {
+		bare[i] = measurePoolRec(1, 1, flightPairCalls, nil)
+		recd[i] = measurePoolRec(1, 1, flightPairCalls, rec)
+		// Digest off the measured path so ring reuse between rounds
+		// doesn't depend on reader progress.
+		rec.Digest()
+		ratios[i] = recd[i] / bare[i]
+	}
+	ratio := medianOf(ratios)
+
+	tbl := &table{header: []string{"configuration", "Mops/s (median)", "ratio"}}
+	tbl.add("fabric 1rx1w, recorder off", f2(medianOf(bare)/1e6), "1.00x")
+	tbl.add(fmt.Sprintf("fabric 1rx1w, recorder on (1-in-%d sampling)", flight.DefaultSampleEvery),
+		f2(medianOf(recd)/1e6), f2(ratio)+"x")
+	r.Table = tbl.String()
+	r.Values = append(r.Values, Value{Name: "recorder-on vs recorder-off", Got: ratio, Unit: "x"})
+	return r
+}
+
+// medianOf returns the median of a copy of vs.
+func medianOf(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func init() {
+	register(Experiment{ID: "flight", Title: "Flight recorder overhead", Run: runFlightCost})
+}

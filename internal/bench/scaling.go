@@ -17,6 +17,7 @@ import (
 	"hotcalls/internal/apps/lighttpd"
 	"hotcalls/internal/apps/memcached"
 	"hotcalls/internal/core"
+	"hotcalls/internal/flight"
 )
 
 // scalingWindow is the async depth each requester pipelines, matching
@@ -38,6 +39,11 @@ const (
 func measureSingleSlot(workers, calls int) float64 {
 	var hc core.HotCall
 	hc.Timeout = 1 << 20
+	var cs flight.Callsite
+	if flightRec != nil {
+		hc.SetFlight(flightRec)
+		cs = flightRec.Callsite("bench.hotcall")
+	}
 	r := core.NewResponder(&hc, []func(interface{}) uint64{
 		func(d interface{}) uint64 { return d.(uint64) },
 	})
@@ -60,7 +66,7 @@ func measureSingleSlot(workers, calls int) float64 {
 		go func(n int) {
 			defer wg.Done()
 			for i := 0; i < n; i++ {
-				if _, err := hc.Call(0, uint64(i)); err != nil {
+				if _, err := hc.CallAt(cs, 0, uint64(i)); err != nil {
 					panic(err)
 				}
 			}
@@ -74,6 +80,13 @@ func measureSingleSlot(workers, calls int) float64 {
 // fabric whose responder pool is pinned at `responders`, and returns
 // ops/second.
 func measurePool(requesters, responders, calls int) float64 {
+	return measurePoolRec(requesters, responders, calls, flightRec)
+}
+
+// measurePoolRec is measurePool with an explicit flight recorder — nil
+// runs bare.  The flight-overhead experiment alternates the two
+// configurations in one process so the ratio survives host noise.
+func measurePoolRec(requesters, responders, calls int, rec *flight.Recorder) float64 {
 	p := core.NewCallPool(
 		[]core.PoolFunc{func(_ int, d uint64) uint64 { return d }},
 		core.PoolOptions{
@@ -83,6 +96,11 @@ func measurePool(requesters, responders, calls int) float64 {
 			MaxResponders: responders,
 			Timeout:       1 << 20,
 		})
+	var cs flight.Callsite
+	if rec != nil {
+		p.SetFlight(rec)
+		cs = rec.Callsite("bench.pool")
+	}
 	p.Start()
 	defer p.Stop()
 
@@ -103,7 +121,7 @@ func measurePool(requesters, responders, calls int) float64 {
 			pending := make([]*core.PoolPending, 0, scalingWindow)
 			for i := 0; i < n; {
 				for len(pending) < scalingWindow && i < n {
-					pd, err := r.Submit(0, uint64(i))
+					pd, err := r.SubmitAt(cs, 0, uint64(i))
 					if err != nil {
 						panic(err)
 					}
@@ -127,6 +145,9 @@ func measurePool(requesters, responders, calls int) float64 {
 // rate, synchronous and windowed, in requests/second.
 func measureMemcachedFabric() (syncRate, windowedRate float64) {
 	s := memcached.NewPoolServer(1, core.PoolOptions{Timeout: 1 << 20})
+	if flightRec != nil {
+		s.SetFlight(flightRec)
+	}
 	s.Start()
 	defer s.Stop()
 	c := s.Conn(0)
@@ -175,6 +196,9 @@ func measureMemcachedFabric() (syncRate, windowedRate float64) {
 // synchronous and windowed, in requests/second.
 func measureLighttpdFabric() (syncRate, windowedRate float64) {
 	s := lighttpd.NewPoolServer(1, core.PoolOptions{Timeout: 1 << 20})
+	if flightRec != nil {
+		s.SetFlight(flightRec)
+	}
 	s.Start()
 	defer s.Stop()
 	c := s.Conn(0)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"hotcalls/internal/flight"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/telemetry"
 )
@@ -87,6 +88,12 @@ type HotCall struct {
 	// Timeout is the submission-attempt limit (DefaultTimeout if zero).
 	Timeout int
 
+	// flight is the per-callsite flight recorder, nil until SetFlight;
+	// fr is the in-flight call's record, guarded by lock like the other
+	// handoff words (the single slot holds at most one call).
+	flight *flight.Recorder
+	fr     *flight.Record
+
 	// Telemetry handles, cached at SetTelemetry time so the hot path
 	// pays one nil-check branch per counter and never a registry lookup.
 	// All nil (no-op) when telemetry is disabled — the overhead budget
@@ -107,6 +114,16 @@ func (h *HotCall) SetTelemetry(reg *telemetry.Registry) {
 	h.depth = reg.Gauge(telemetry.MetricPendingDepth)
 }
 
+// SetFlight attaches the flight recorder to the single-slot protocol
+// (one record ring: the slot is one logical requester lane).  A nil
+// recorder detaches.  Attach before starting the responder.
+func (h *HotCall) SetFlight(rec *flight.Recorder) {
+	if rec != nil {
+		rec.Bind(1)
+	}
+	h.flight = rec
+}
+
 // pause yields the processor inside a busy-wait loop — the PAUSE
 // instruction of Section 4.2, which on a Go runtime must also let the
 // other side's goroutine run when hardware threads are scarce.
@@ -117,16 +134,29 @@ func pause() { runtime.Gosched() }
 // busy for Timeout submission attempts: the caller should fall back to a
 // regular SDK call (see CallOrFallback).
 func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
+	return h.CallAt(flight.Callsite{}, id, data)
+}
+
+// CallAt is Call stamped with a registered flight-recorder callsite.
+// Timeline records ride the lock-guarded handoff: the requester plants
+// the record with the request, the responder stamps its side, and the
+// requester closes the record at wait return.
+func (h *HotCall) CallAt(cs flight.Callsite, id CallID, data interface{}) (uint64, error) {
 	timeout := h.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
 	h.requests.Inc()
+	var fr *flight.Record
+	f := h.flight
 	// Submission: acquire the lock, verify the responder is free, plant
 	// the request, signal "go" by flipping the state, release the lock.
 	// The attempts use TryLock so that a wedged lock (an adversary, or a
 	// stuck responder) degrades to the timeout-and-fallback path instead
 	// of an unbounded spin — the Section 4.2 starvation mitigation.
+	// The flight record is opened under the lock: the single slot has
+	// many concurrent requesters, and holding the lock satisfies the
+	// recorder's single-producer lane contract.
 	submitted := false
 	for attempt := 0; attempt < timeout; attempt++ {
 		if h.stopped.Load() {
@@ -136,6 +166,15 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 			if h.state == stateIdle {
 				h.id = id
 				h.data = data
+				if f != nil && f.Arrive(cs, 0) {
+					fr = f.Open(cs, 0, uint16(id))
+					sleepers := 0
+					if h.sleeping.Load() {
+						sleepers = 1
+					}
+					fr.Context(1, 1, sleepers)
+				}
+				h.fr = fr
 				h.state = stateRequested
 				h.lock.Unlock()
 				submitted = true
@@ -147,6 +186,7 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 	}
 	if !submitted {
 		h.timeouts.Inc()
+		f.Timeout(cs, nil) // exact count; no record was ever opened
 		return 0, ErrTimeout
 	}
 	h.depth.Inc()
@@ -162,14 +202,19 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 				ret := h.ret
 				h.state = stateIdle
 				h.data = nil
+				h.fr = nil
 				h.lock.Unlock()
 				h.depth.Dec()
+				if fr != nil {
+					fr.Return(f.Now())
+				}
 				return ret, nil
 			}
 			h.lock.Unlock()
 		}
 		if h.stopped.Load() {
 			h.depth.Dec()
+			f.Stopped(fr)
 			return 0, ErrStopped
 		}
 		pause()
@@ -180,9 +225,16 @@ func (h *HotCall) Call(id CallID, data interface{}) (uint64, error) {
 // submission timeout expires, the request is served through the fallback
 // path (a regular SDK call) instead of failing.
 func (h *HotCall) CallOrFallback(id CallID, data interface{}, fallback func() (uint64, error)) (uint64, error) {
-	ret, err := h.Call(id, data)
+	return h.CallOrFallbackAt(flight.Callsite{}, id, data, fallback)
+}
+
+// CallOrFallbackAt is CallOrFallback with per-callsite flight
+// attribution; fallback degradations count against the callsite.
+func (h *HotCall) CallOrFallbackAt(cs flight.Callsite, id CallID, data interface{}, fallback func() (uint64, error)) (uint64, error) {
+	ret, err := h.CallAt(cs, id, data)
 	if errors.Is(err, ErrTimeout) {
 		h.fallbacks.Inc()
+		h.flight.Fallback(cs)
 		return fallback()
 	}
 	return ret, err
@@ -248,10 +300,17 @@ func (r *Responder) Run() {
 		h.lock.Lock()
 		if h.state == stateRequested {
 			id, data := h.id, h.data
+			fr := h.fr
 			h.state = stateRunning
 			h.lock.Unlock()
 			idle = 0
 
+			f := h.flight
+			if fr != nil && f != nil {
+				now := f.Now()
+				fr.Claim(0, now)
+				fr.ExecStart(now)
+			}
 			var ret uint64
 			if int(id) < 0 || int(id) >= len(r.table) {
 				// A corrupted call_ID executes no function; the
@@ -264,6 +323,9 @@ func (r *Responder) Run() {
 				ret = r.table[id](data)
 				r.executes.Add(1)
 				r.executeCtr.Inc()
+			}
+			if fr != nil && f != nil {
+				fr.ExecEnd(f.Now())
 			}
 
 			h.lock.Lock()

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hotcalls/internal/flight"
 	"hotcalls/internal/sdk"
 	"hotcalls/internal/telemetry"
 )
@@ -64,12 +65,19 @@ const (
 //	line 1 (responder-written): ret.  Kept off line 0 so the responder
 //	  storing a result does not invalidate the line a pipelining
 //	  requester is concurrently posting its next call on.
+//
+// fr is the call's flight record (nil on unsampled calls or with the
+// recorder detached).  It rides line 0 with the other requester-written
+// words: the requester stores it before the slotPosted release store and
+// the responder reads it after the acquire load of state, so the
+// existing handoff protocol is also its publication fence.
 type poolSlot struct {
 	state atomic.Uint32
 	_     [4]byte
 	id    CallID
 	data  uint64
-	_     [cacheLine - 24]byte
+	fr    *flight.Record
+	_     [cacheLine - 32]byte
 	ret   uint64
 	_     [cacheLine - 8]byte
 }
@@ -220,6 +228,12 @@ type CallPool struct {
 
 	pendingPool sync.Pool
 
+	// flight is the per-callsite flight recorder, nil until SetFlight.
+	// The hot path pays one nil-check when detached; when attached,
+	// every call costs one arrival count and 1-in-SampleEvery calls
+	// get a full causal-timeline record (see internal/flight).
+	flight *flight.Recorder
+
 	// Telemetry handles, nil (no-op) until SetTelemetry; cached so the
 	// hot path never does a registry lookup.
 	requests   *telemetry.Counter
@@ -282,6 +296,22 @@ func (p *CallPool) SetTelemetry(reg *telemetry.Registry) {
 	p.maxGauge.Set(int64(p.opts.MaxResponders))
 }
 
+// SetFlight attaches the flight recorder: binds one record ring per
+// shard, points its wasted-spin attribution at the pool's poll/execute
+// totals, and turns on per-callsite arrival counting and timeline
+// sampling for every subsequent call.  A nil recorder detaches.
+// Attach before Start.
+func (p *CallPool) SetFlight(rec *flight.Recorder) {
+	if rec != nil {
+		rec.Bind(len(p.shards))
+		rec.SetOccupancySource(p.Stats)
+	}
+	p.flight = rec
+}
+
+// Flight returns the attached flight recorder (nil when detached).
+func (p *CallPool) Flight() *flight.Recorder { return p.flight }
+
 // Requester binds the next free shard to the calling goroutine and
 // returns its handle.  A Requester must be used from one goroutine at a
 // time; the pool supports at most Shards of them.
@@ -319,25 +349,45 @@ func (r *Requester) Index() int { return r.idx }
 
 // post plants one call in the requester's ring, spinning through the
 // attempt budget when the window is full.  On success the slot pointer
-// is returned for the completion wait.
-func (r *Requester) post(id CallID, data uint64) (*poolSlot, error) {
+// and the call's flight record (nil when unsampled or detached) are
+// returned for the completion wait.  The flight stamp happens before
+// the submission spin, so a window-full wait is part of the recorded
+// latency; the record is closed on every exit path, so a timeout or
+// shutdown never leaves an open record to wedge the digest.
+func (r *Requester) post(cs flight.Callsite, id CallID, data uint64) (*poolSlot, *flight.Record, error) {
 	p := r.pool
 	sh := r.shard
 	p.requests.Inc()
+	var fr *flight.Record
+	// Two-step Arrive/Open instead of Begin: Arrive inlines, so the
+	// 255-in-256 unsampled calls pay no function call here.
+	if f := p.flight; f != nil && f.Arrive(cs, r.idx) {
+		fr = f.Open(cs, r.idx, uint16(id))
+		// Pool-state context only on sampled calls: these gauges live
+		// on responder-shared cache lines, so reading them per call
+		// would put a coherence miss on the unsampled path.
+		fr.Context(int(sh.head-sh.tail.Load()), int(p.live.Load()), int(p.sleepers.Load()))
+	}
 	for attempt := 0; attempt < p.opts.Timeout; attempt++ {
 		if p.stopped.Load() {
-			return nil, ErrStopped
+			p.flight.Stopped(fr)
+			return nil, nil, ErrStopped
 		}
 		s := &sh.slots[sh.head&sh.mask]
 		if s.state.Load() == slotIdle {
 			s.id = id
 			s.data = data
+			if p.flight != nil {
+				// Unconditional when attached (nil on unsampled calls)
+				// so a slot never carries a stale record across reuse.
+				s.fr = fr
+			}
 			s.state.Store(slotPosted)
 			sh.head++
 			if p.sleepers.Load() != 0 {
 				p.wake.Signal()
 			}
-			return s, nil
+			return s, fr, nil
 		}
 		// Window full: every slot in the ring holds an in-flight or
 		// un-reaped call.  Yield so responders (and, on a single
@@ -345,26 +395,40 @@ func (r *Requester) post(id CallID, data uint64) (*poolSlot, error) {
 		pause()
 	}
 	p.timeouts.Inc()
-	return nil, ErrTimeout
+	p.flight.Timeout(cs, fr)
+	return nil, nil, ErrTimeout
 }
 
 // Call executes call-table entry id with data through the fabric and
 // waits for the result.  It returns ErrTimeout when the requester's
 // window stayed full for the attempt budget (fall back to a regular SDK
 // call, as in the paper's starvation mitigation) and ErrStopped after
-// Stop.  The path performs no allocation.
+// Stop.  The path performs no allocation.  Calls made through Call
+// aggregate under the flight recorder's "(unlabelled)" callsite; use
+// CallAt to attribute them.
 func (r *Requester) Call(id CallID, data uint64) (uint64, error) {
-	s, err := r.post(id, data)
+	return r.CallAt(flight.Callsite{}, id, data)
+}
+
+// CallAt is Call stamped with a registered flight-recorder callsite, so
+// the call's arrival rate, timeline, and wasted-spin share aggregate
+// under that callsite in /debug/flight.
+func (r *Requester) CallAt(cs flight.Callsite, id CallID, data uint64) (uint64, error) {
+	s, fr, err := r.post(cs, id, data)
 	if err != nil {
 		return 0, err
 	}
 	for {
 		if s.state.Load() == slotDone {
 			ret := s.ret
+			if fr != nil {
+				fr.Return(r.pool.flight.Now())
+			}
 			s.state.Store(slotIdle)
 			return ret, nil
 		}
 		if r.pool.stopped.Load() {
+			r.pool.flight.Stopped(fr)
 			return 0, ErrStopped
 		}
 		pause()
@@ -374,8 +438,15 @@ func (r *Requester) Call(id CallID, data uint64) (uint64, error) {
 // CallOrFallback is Call with the paper's starvation mitigation: a
 // submission timeout degrades to the fallback path instead of failing.
 func (r *Requester) CallOrFallback(id CallID, data uint64, fallback func() (uint64, error)) (uint64, error) {
-	ret, err := r.Call(id, data)
+	return r.CallOrFallbackAt(flight.Callsite{}, id, data, fallback)
+}
+
+// CallOrFallbackAt is CallOrFallback with per-callsite flight
+// attribution; fallback degradations count against the callsite.
+func (r *Requester) CallOrFallbackAt(cs flight.Callsite, id CallID, data uint64, fallback func() (uint64, error)) (uint64, error) {
+	ret, err := r.CallAt(cs, id, data)
 	if err == ErrTimeout {
+		r.pool.flight.Fallback(cs)
 		return fallback()
 	}
 	return ret, err
@@ -388,6 +459,7 @@ func (r *Requester) CallOrFallback(id CallID, data uint64, fallback func() (uint
 type PoolPending struct {
 	pool *CallPool
 	slot *poolSlot
+	fr   *flight.Record
 }
 
 // Submit plants a call without waiting.  Up to SlotsPerShard calls may
@@ -396,13 +468,20 @@ type PoolPending struct {
 // order per requester (the ring is FIFO), so collecting the oldest
 // Pending first keeps the window moving.
 func (r *Requester) Submit(id CallID, data uint64) (*PoolPending, error) {
-	s, err := r.post(id, data)
+	return r.SubmitAt(flight.Callsite{}, id, data)
+}
+
+// SubmitAt is Submit stamped with a registered flight-recorder
+// callsite (see CallAt).
+func (r *Requester) SubmitAt(cs flight.Callsite, id CallID, data uint64) (*PoolPending, error) {
+	s, fr, err := r.post(cs, id, data)
 	if err != nil {
 		return nil, err
 	}
 	pd := r.pool.pendingPool.Get().(*PoolPending)
 	pd.pool = r.pool
 	pd.slot = s
+	pd.fr = fr
 	return pd, nil
 }
 
@@ -412,11 +491,15 @@ func (pd *PoolPending) Poll() (uint64, error) {
 	s := pd.slot
 	if s.state.Load() == slotDone {
 		ret := s.ret
+		if pd.fr != nil {
+			pd.fr.Return(pd.pool.flight.Now())
+		}
 		s.state.Store(slotIdle)
 		pd.release()
 		return ret, nil
 	}
 	if pd.pool.stopped.Load() {
+		pd.pool.flight.Stopped(pd.fr)
 		pd.release()
 		return 0, ErrStopped
 	}
@@ -438,5 +521,6 @@ func (pd *PoolPending) release() {
 	pool := pd.pool
 	pd.pool = nil
 	pd.slot = nil
+	pd.fr = nil
 	pool.pendingPool.Put(pd)
 }

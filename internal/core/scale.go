@@ -81,7 +81,7 @@ func (p *CallPool) runResponder(idx int) {
 		if idx > 0 && int32(idx) >= p.target.Load() {
 			return // retired by the controller
 		}
-		polls, execs := p.scanPass(pass)
+		polls, execs := p.scanPass(idx, pass)
 		pass++
 		winPolls += polls
 		winExec += execs
@@ -144,9 +144,10 @@ func (p *CallPool) runResponder(idx int) {
 
 // scanPass visits every shard once, starting at a rotated offset so no
 // shard holds permanent first-served priority, and drains up to a ring's
-// worth of posted calls per shard.  It returns the number of slot
+// worth of posted calls per shard.  idx identifies the responder for
+// flight-record claim stamps.  It returns the number of slot
 // inspections and executed calls.
-func (p *CallPool) scanPass(pass int) (polls, execs uint64) {
+func (p *CallPool) scanPass(idx, pass int) (polls, execs uint64) {
 	n := len(p.shards)
 	for k := 0; k < n; k++ {
 		shardIdx := (pass + k) % n
@@ -166,13 +167,27 @@ func (p *CallPool) scanPass(pass int) (polls, execs uint64) {
 			}
 			// The CAS makes call t exclusively ours: execute, publish
 			// the result on the responder-written line, then signal
-			// completion with the one state store.
+			// completion with the one state store.  Sampled calls carry
+			// a flight record in s.fr (published by the slotPosted
+			// store); three clock reads bracket the handler so the
+			// record's causal timeline separates claim latency from
+			// handler service time.
 			id, data := s.id, s.data
+			fr := s.fr
+			f := p.flight
+			if fr != nil && f != nil {
+				now := f.Now()
+				fr.Claim(idx, now)
+				fr.ExecStart(now)
+			}
 			var ret uint64
 			if int(id) < 0 || int(id) >= len(p.table) {
 				ret = ^uint64(0) // corrupted call_ID: sentinel, as in hotcalls.go
 			} else {
 				ret = p.table[id](shardIdx, data)
+			}
+			if fr != nil && f != nil {
+				fr.ExecEnd(f.Now())
 			}
 			s.ret = ret
 			s.state.Store(slotDone)

@@ -1,0 +1,459 @@
+// Package flight is the call fabric's flight recorder: an always-on,
+// low-overhead observability layer that captures *per-callsite* causal
+// call timelines and live statistics, the sensing layer the configless
+// dispatcher direction ("SGX Switchless Calls Made Configless",
+// PAPERS.md) requires.  Where internal/telemetry aggregates globally,
+// the recorder answers the per-callsite questions: how often does this
+// callsite arrive, how long does its handler run, how much responder
+// spin does it waste, and what did a *specific recent call* look like
+// from submit to return.
+//
+// Design constraints mirror the CallPool hot path it instruments:
+//
+//  1. The unsampled path is two or three uncontended atomic operations:
+//     a per-(shard,callsite) arrival count and a power-of-two sampling
+//     check.  No time is read, nothing is allocated.
+//
+//  2. Sampled calls take a record from a preallocated per-requester
+//     ring (mirroring CallPool's padded-slot design) and stamp the
+//     causal timeline — submit, slot claim, responder execute
+//     start/end, wait return — as all-atomic fields guarded by a
+//     generation-encoded seqlock, so concurrent readers detect both
+//     torn reads and ring-wraparound reuse without ever blocking a
+//     writer.  Zero allocation, no locks.
+//
+//  3. Folding records into per-callsite statistics (EWMA arrival rate,
+//     inter-arrival / service-time / latency histograms with exemplar
+//     trace IDs, wasted-spin attribution) happens off the hot path in
+//     Digest, driven by the monitor tick or the /debug/flight handler.
+//
+// Timeout and fallback counts are exact (counted on every such
+// outcome).  Arrivals are counted on every call in producer-private
+// memory and published to readers on each sampled call, so the visible
+// total is exact whenever a lane pauses on a multiple of SampleEvery
+// and otherwise lags the truth by at most SampleEvery-1 — the price of
+// keeping the per-call path free of LOCK-prefixed instructions.
+// Timelines and latency distributions are 1-in-SampleEvery samples.
+// The stats table (CallsiteStats) is the input contract the adaptive
+// dispatcher will consume.
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotcalls/internal/telemetry"
+)
+
+// cacheLine matches internal/core's padding granule.
+const cacheLine = 64
+
+// UnlabelledName is callsite 0, stamped on calls made through APIs that
+// never registered a callsite (plain Call/Submit).
+const UnlabelledName = "(unlabelled)"
+
+// Callsite is a cheap registered-callsite handle, stamped on every call
+// at Call/Submit time.  The zero value is the "(unlabelled)" callsite,
+// so unannotated call paths still aggregate somewhere visible.
+type Callsite struct{ id uint16 }
+
+// ID returns the callsite's stable index in the recorder's stats table.
+func (c Callsite) ID() int { return int(c.id) }
+
+// DefaultSampleEvery is the zero-value Options sampling stride: 1
+// timeline record per 256 calls per (shard, callsite) lane.
+const DefaultSampleEvery = 256
+
+// Options tunes a Recorder.  The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// RingRecords is the per-requester record-ring capacity (default
+	// 256, rounded up to a power of two).  When sampled calls outrun
+	// Digest by a full ring, the oldest undigested records are
+	// overwritten and counted as dropped.
+	RingRecords int
+
+	// SampleEvery records the timeline of every SampleEvery-th call per
+	// (shard, callsite) lane (default 256, rounded up to a power of
+	// two so the hot-path check is a mask, not a division).  1 records
+	// every call and makes the visible arrival counts exact; larger
+	// strides publish arrivals on sampled calls only (see the package
+	// comment).  Timeout/fallback counts are exact regardless.  The
+	// default keeps the amortized sampled-call cost (~4 clock reads,
+	// ~10 seqlocked field stamps, and a ring-slot open — roughly 400ns
+	// on a host with ~55ns clock reads) under 0.5% of a ~100ns fabric
+	// call while still yielding thousands of timeline records per
+	// second at fabric call rates.
+	SampleEvery int
+
+	// MaxCallsites bounds the stats table (default 64).  Registrations
+	// beyond the bound fall back to the unlabelled callsite.
+	MaxCallsites int
+
+	// EWMAAlpha is the smoothing factor of the per-callsite arrival-
+	// rate EWMA folded on each Digest (default 0.3).
+	EWMAAlpha float64
+
+	// Now is the monotonic nanosecond clock (default: nanoseconds
+	// since New, via time.Since on the runtime's monotonic reading).
+	// Injectable for deterministic tests.
+	Now func() uint64
+}
+
+func (o *Options) fill() {
+	if o.RingRecords <= 0 {
+		o.RingRecords = 256
+	}
+	o.RingRecords = ceilPow2(o.RingRecords)
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = DefaultSampleEvery
+	}
+	o.SampleEvery = ceilPow2(o.SampleEvery)
+	if o.MaxCallsites <= 0 {
+		o.MaxCallsites = 64
+	}
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.3
+	}
+	if o.Now == nil {
+		base := time.Now()
+		o.Now = func() uint64 { return uint64(time.Since(base)) }
+	}
+}
+
+func ceilPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// lane is one (shard, callsite) arrival counter, padded so lanes of
+// neighbouring callsites on the same shard never false-share.  local
+// is written by
+// the lane's single producer with plain loads and stores — on x86 even
+// an atomic.Uint64.Store is an XCHG full barrier, ~10ns against a
+// ~100ns fabric call, so the per-call count must be genuinely plain —
+// and published to the atomic field readers use only on sampled calls,
+// from Open.  Sampling fires on each SampleEvery-th arrival, so a
+// publish happens exactly when the count reaches a stride multiple:
+// totals are exact whenever traffic pauses at a multiple of
+// SampleEvery (which is what tests arrange), and between boundaries
+// readers lag the true count by at most SampleEvery-1.
+type lane struct {
+	local     uint64
+	published atomic.Uint64
+	_         [cacheLine - 16]byte
+}
+
+// binding is the recorder's per-fabric storage: one record ring per
+// requester shard plus the shard×callsite arrival lanes.  It is
+// published through an atomic pointer so Bind (fabric attach) is safe
+// against concurrent Begin calls from an old binding.
+type binding struct {
+	rings []*ring
+	lanes []lane // row-major: shard*stride + callsite
+	sites int    // callsites per shard (MaxCallsites at bind time)
+
+	// stride is sites rounded up to a power of two, so Arrive clamps a
+	// foreign callsite ID with one AND (siteMask = stride-1) instead of
+	// a compare-and-branch — the branch was the difference between the
+	// always-on arrival path inlining into the fabric's post loop or
+	// not.  IDs from this recorder are < sites by construction
+	// (Callsite falls back to the unlabelled slot when the table is
+	// full); only a Callsite minted by a different Recorder can reach
+	// the mask, and it aliases into [0, stride) harmlessly.
+	stride   int
+	siteMask int
+}
+
+// Recorder is the flight recorder.  Create with New, attach to a
+// fabric with Bind (CallPool.SetFlight does this), register callsites
+// with Callsite, and read back through Stats, Records, RenderText, or
+// the /debug/flight Handler.
+type Recorder struct {
+	opts       Options
+	sampleMask uint64 // SampleEvery-1 (power of two)
+	bind       atomic.Pointer[binding]
+
+	// mu serialises callsite registration and Digest (the only
+	// consumer of ring cursors and stats state).
+	mu      sync.Mutex
+	names   []string
+	cursors []uint64 // per-ring digest position (generation index)
+	stats   []*csState
+
+	// baseArrivals carries the published per-callsite arrival counts of
+	// previously-bound fabrics, folded in by Bind so the cumulative
+	// totals stay monotonic across rebinds (the EWMA fold subtracts
+	// consecutive cumulative readings).  Indexed by callsite ID.
+	baseArrivals []uint64
+
+	// Exact per-callsite outcome counters (indexed by callsite ID,
+	// allocated to MaxCallsites at New).  Separate from the sampled
+	// records so a timeout storm is visible even at SampleEvery=256.
+	timeouts  []padCounter
+	fallbacks []padCounter
+
+	// Wasted-spin source (CallPool.Stats) and its last-digest totals.
+	occSource     func() (polls, executes uint64)
+	prevPolls     atomic.Uint64
+	prevExecutes  atomic.Uint64
+	lastDigestNS  uint64
+	droppedstale  uint64 // records overwritten before digest reached them
+	digestedCount uint64
+
+	reg *telemetry.Registry // backing store for per-callsite histograms
+}
+
+type padCounter struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// New returns a recorder with the given options.
+func New(opts Options) *Recorder {
+	opts.fill()
+	r := &Recorder{
+		opts:       opts,
+		sampleMask: uint64(opts.SampleEvery - 1),
+		names:      []string{UnlabelledName},
+		timeouts:   make([]padCounter, opts.MaxCallsites),
+		fallbacks:  make([]padCounter, opts.MaxCallsites),
+		reg:        telemetry.New(),
+	}
+	return r
+}
+
+// Now returns the recorder's monotonic nanosecond clock reading.
+func (r *Recorder) Now() uint64 { return r.opts.Now() }
+
+// Callsite registers (or looks up) a named callsite and returns its
+// handle.  Registration is idempotent by name; past MaxCallsites the
+// unlabelled handle is returned so the caller keeps working, just
+// without per-callsite attribution.
+func (r *Recorder) Callsite(name string) Callsite {
+	if r == nil || name == "" {
+		return Callsite{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, n := range r.names {
+		if n == name {
+			return Callsite{uint16(i)}
+		}
+	}
+	if len(r.names) >= r.opts.MaxCallsites {
+		return Callsite{}
+	}
+	r.names = append(r.names, name)
+	return Callsite{uint16(len(r.names) - 1)}
+}
+
+// CallsiteName resolves a callsite ID back to its registered name.
+func (r *Recorder) CallsiteName(id int) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 0 || id >= len(r.names) {
+		return fmt.Sprintf("callsite#%d", id)
+	}
+	return r.names[id]
+}
+
+// Bind attaches the recorder to a fabric of the given shard count,
+// allocating the per-requester record rings and arrival lanes.  Called
+// by CallPool.SetFlight (shards = requester count) and by the
+// single-slot HotCall (shards = 1).  Re-binding replaces the timeline
+// storage and resets digest cursors — one fabric per recorder at a
+// time — but first folds the outgoing fabric's published arrival counts
+// into a persistent baseline, so cumulative per-callsite totals keep
+// accumulating (and stay monotonic for the EWMA fold) when a harness
+// moves the recorder between successive fixtures.
+func (r *Recorder) Bind(shards int) {
+	if r == nil || shards <= 0 {
+		return
+	}
+	stride := ceilPow2(r.opts.MaxCallsites)
+	b := &binding{
+		rings:    make([]*ring, shards),
+		lanes:    make([]lane, shards*stride),
+		sites:    r.opts.MaxCallsites,
+		stride:   stride,
+		siteMask: stride - 1,
+	}
+	for i := range b.rings {
+		b.rings[i] = newRing(r.opts.RingRecords)
+	}
+	r.mu.Lock()
+	if old := r.bind.Load(); old != nil {
+		for len(r.baseArrivals) < old.stride {
+			r.baseArrivals = append(r.baseArrivals, 0)
+		}
+		// The fold reads the published counts; a lane's unpublished
+		// remainder (< SampleEvery calls since the last boundary) is
+		// lost with the binding, like its undigested records.
+		for shard := 0; shard < len(old.rings); shard++ {
+			for site := 0; site < old.stride; site++ {
+				r.baseArrivals[site] += old.lanes[shard*old.stride+site].published.Load()
+			}
+		}
+	}
+	r.cursors = make([]uint64, shards)
+	r.mu.Unlock()
+	r.bind.Store(b)
+}
+
+// SetOccupancySource attaches the pool-wide (polls, executes) totals
+// the wasted-spin attribution is derived from — CallPool.Stats for the
+// fabric.  A nil source disables attribution.
+func (r *Recorder) SetOccupancySource(src func() (polls, executes uint64)) {
+	if r == nil {
+		return
+	}
+	r.occSource = src
+	if src != nil {
+		p, e := src()
+		r.prevPolls.Store(p)
+		r.prevExecutes.Store(e)
+	}
+}
+
+// Begin counts one arrival on the (shard, callsite) lane and, for 1 in
+// SampleEvery arrivals, opens a timeline record with the submit time
+// stamped.  Returns nil on unsampled calls, on an unbound recorder, or
+// on a nil receiver — the caller stores the result unconditionally and
+// stamps through nil-safe Record methods (including Record.Context for
+// the submit-time pool state, so that state is only read on sampled
+// calls).
+//
+// Single-producer contract: a given (shard) lane must be driven by one
+// goroutine at a time — the shard's owning requester in the fabric, or
+// the holder of the submission lock in the single-slot protocol.  That
+// is what lets the unsampled path be a plain load+store count and a
+// mask check, with no LOCK-prefixed instruction; the sampled path
+// additionally takes a preallocated ring slot and reads the clock
+// once.  Nothing allocates.
+// Begin is Arrive + Open in one call, for callers off the nanosecond
+// path (tests, the single-shot protocols).  The fabric's post loop uses
+// the two-step form instead: Arrive is small enough to inline, so the
+// 255-in-256 unsampled calls pay a handful of inlined instructions and
+// no function call.
+func (r *Recorder) Begin(cs Callsite, shard int, callID uint16) *Record {
+	if r == nil || !r.Arrive(cs, shard) {
+		return nil
+	}
+	return r.Open(cs, shard, callID)
+}
+
+// Arrive counts one arrival on the (shard, callsite) lane and reports
+// whether this call is the 1-in-SampleEvery (every SampleEvery-th
+// arrival) that gets a timeline record — the caller then invokes Open,
+// which also publishes the count to readers.  This is the recorder's
+// always-on cost, paid by every fabric call, so it is built from plain
+// loads and stores only — the single-producer lane contract (see
+// Begin's doc) makes that legal, and the lane comment explains the
+// publication protocol that keeps readers race-free — and it must stay
+// inside the compiler's inlining budget: one atomic-pointer load, one
+// index, one plain counter bump, one mask test.
+//
+// Unlike the package's other methods, Arrive requires a non-nil
+// receiver: the fabric tests its recorder field once per call anyway,
+// and the nil check was inlining budget the hot path can't spare.
+func (r *Recorder) Arrive(cs Callsite, shard int) bool {
+	b := r.bind.Load()
+	if b == nil || uint(shard) >= uint(len(b.rings)) {
+		return false
+	}
+	ln := &b.lanes[shard*b.stride+(int(cs.id)&b.siteMask)]
+	n := ln.local + 1
+	ln.local = n
+	return n&r.sampleMask == 0
+}
+
+// Open opens the timeline record for a call Arrive reported sampled.
+// A rebind between Arrive and Open lands the record in the new
+// fabric's ring — harmless, the record is just attributed to the
+// binding that digests it.  Open also publishes the lane's arrival
+// count (it runs on the lane's producer goroutine, right after the
+// Arrive that sampled this call), so a lane is visible to readers from
+// its first call.
+func (r *Recorder) Open(cs Callsite, shard int, callID uint16) *Record {
+	if r == nil {
+		return nil
+	}
+	b := r.bind.Load()
+	if b == nil || uint(shard) >= uint(len(b.rings)) {
+		return nil
+	}
+	ln := &b.lanes[shard*b.stride+(int(cs.id)&b.siteMask)]
+	ln.published.Store(ln.local)
+	return r.beginSampled(b, cs, shard, callID)
+}
+
+// beginSampled opens a timeline record for a 1-in-SampleEvery call:
+// takes the shard ring's next slot and stamps identity and submit time.
+func (r *Recorder) beginSampled(b *binding, cs Callsite, shard int, callID uint16) *Record {
+	rec, gen := b.rings[shard].open()
+	trace := uint64(shard+1)<<40 | (gen & (1<<40 - 1))
+	rec.trace.Store(trace)
+	rec.meta.Store(uint64(cs.id)<<48 | uint64(shard&0xffff)<<32)
+	rec.ctx.Store(uint64(callID))
+	rec.submit.Store(r.opts.Now())
+	return rec
+}
+
+// Timeout records a submission timeout for the callsite (exact count)
+// and closes the open record, if any, with the timeout flag.
+func (r *Recorder) Timeout(cs Callsite, rec *Record) {
+	if r == nil {
+		return
+	}
+	r.timeouts[int(cs.id)%len(r.timeouts)].n.Add(1)
+	rec.closeWith(flagTimeout, r.opts.Now())
+}
+
+// Stopped closes the open record, if any, marking the call as cut off
+// by fabric shutdown.
+func (r *Recorder) Stopped(rec *Record) {
+	if r == nil {
+		return
+	}
+	rec.closeWith(flagStopped, r.opts.Now())
+}
+
+// Fallback records that the callsite degraded to the SDK fallback path
+// after a timeout (exact count).
+func (r *Recorder) Fallback(cs Callsite) {
+	if r == nil {
+		return
+	}
+	r.fallbacks[int(cs.id)%len(r.fallbacks)].n.Add(1)
+}
+
+// Dropped returns how many sampled records were overwritten by ring
+// wraparound before Digest reached them.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedstale
+}
+
+// Digested returns how many closed records Digest has folded into the
+// stats table.
+func (r *Recorder) Digested() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.digestedCount
+}

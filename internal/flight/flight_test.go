@@ -1,0 +1,428 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeClock is a deterministic injectable nanosecond clock.
+type fakeClock struct{ ns atomic.Uint64 }
+
+func (c *fakeClock) now() uint64      { return c.ns.Load() }
+func (c *fakeClock) advance(d uint64) { c.ns.Add(d) }
+func (c *fakeClock) set(v uint64)     { c.ns.Store(v) }
+
+func newTestRecorder(t *testing.T, shards int, opts Options) (*Recorder, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{}
+	clk.set(1) // non-zero epoch so "unstamped" (0) is distinguishable
+	opts.Now = clk.now
+	r := New(opts)
+	r.Bind(shards)
+	return r, clk
+}
+
+// play records one complete call timeline through the hot-path API.
+func play(r *Recorder, clk *fakeClock, cs Callsite, shard, responder int, svcNS uint64) *Record {
+	rec := r.Begin(cs, shard, 7)
+	rec.Context(1, 1, 0)
+	clk.advance(100)
+	rec.Claim(responder, r.Now())
+	clk.advance(50)
+	rec.ExecStart(r.Now())
+	clk.advance(svcNS)
+	rec.ExecEnd(r.Now())
+	clk.advance(100)
+	rec.Return(r.Now())
+	return rec
+}
+
+func TestCallsiteRegistration(t *testing.T) {
+	r := New(Options{MaxCallsites: 3})
+	if got := r.CallsiteName(0); got != UnlabelledName {
+		t.Fatalf("callsite 0 = %q, want %q", got, UnlabelledName)
+	}
+	a := r.Callsite("a")
+	b := r.Callsite("b")
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a.ID(), b.ID())
+	}
+	if again := r.Callsite("a"); again != a {
+		t.Fatalf("re-registration not idempotent: %v vs %v", again, a)
+	}
+	// Table full: falls back to unlabelled.
+	if c := r.Callsite("c"); c.ID() != 0 {
+		t.Fatalf("overflow callsite id = %d, want 0", c.ID())
+	}
+	var zero Callsite
+	if zero.ID() != 0 {
+		t.Fatal("zero callsite must be id 0")
+	}
+}
+
+func TestSamplingAndExactArrivals(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 4})
+	cs := r.Callsite("op")
+	sampled := 0
+	for i := 0; i < 32; i++ {
+		if rec := play(r, clk, cs, 0, 0, 10); rec != nil {
+			sampled++
+		}
+	}
+	if sampled != 8 {
+		t.Fatalf("sampled %d of 32 at SampleEvery=4, want 8", sampled)
+	}
+	stats := r.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats rows = %d, want 1", len(stats))
+	}
+	if stats[0].Arrivals != 32 {
+		t.Fatalf("arrivals = %d, want 32 (exact despite sampling)", stats[0].Arrivals)
+	}
+	if stats[0].Sampled != 8 {
+		t.Fatalf("sampled = %d, want 8", stats[0].Sampled)
+	}
+}
+
+func TestCausalTimelineDigest(t *testing.T) {
+	r, clk := newTestRecorder(t, 2, Options{SampleEvery: 1})
+	get := r.Callsite("get")
+	set := r.Callsite("set")
+
+	play(r, clk, get, 0, 0, 1000)
+	play(r, clk, set, 1, 1, 3000)
+
+	views := r.Records(16)
+	if len(views) != 2 {
+		t.Fatalf("records = %d, want 2", len(views))
+	}
+	for _, v := range views {
+		if !(v.SubmitNS < v.ClaimNS && v.ClaimNS < v.ExecStartNS &&
+			v.ExecStartNS < v.ExecEndNS && v.ExecEndNS < v.ReturnNS) {
+			t.Errorf("causal order violated: %+v", v)
+		}
+	}
+	if views[0].Name != "get" || views[0].Responder != 0 || views[0].Shard != 0 {
+		t.Errorf("first record decoded wrong: %+v", views[0])
+	}
+	if views[1].Name != "set" || views[1].Responder != 1 || views[1].Shard != 1 {
+		t.Errorf("second record decoded wrong: %+v", views[1])
+	}
+	if views[0].CallID != 7 || views[0].Depth != 1 || views[0].Live != 1 {
+		t.Errorf("context decoded wrong: %+v", views[0])
+	}
+
+	stats := r.Stats()
+	byName := map[string]CallsiteStats{}
+	for _, cs := range stats {
+		byName[cs.Name] = cs
+	}
+	if svc := byName["set"].ServiceP50NS; svc < 2048 || svc > 4095 {
+		t.Errorf("set service p50 = %d, want in 3000's log2 bucket", svc)
+	}
+	if byName["get"].LastTraceID == 0 {
+		t.Error("get has no exemplar trace ID")
+	}
+	if len(byName["set"].ServiceExemplars) == 0 {
+		t.Error("set service histogram has no exemplars")
+	}
+}
+
+func TestTimeoutAndFallbackCounts(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1})
+	cs := r.Callsite("op")
+	rec := r.Begin(cs, 0, 0)
+	clk.advance(500)
+	r.Timeout(cs, rec)
+	r.Fallback(cs)
+	r.Timeout(cs, nil) // unsampled timeout still counts
+
+	stats := r.Stats()
+	if stats[0].Timeouts != 2 || stats[0].Fallbacks != 1 {
+		t.Fatalf("timeouts=%d fallbacks=%d, want 2, 1", stats[0].Timeouts, stats[0].Fallbacks)
+	}
+	views := r.Records(4)
+	if len(views) != 1 || !views[0].TimedOut {
+		t.Fatalf("timeout record missing or unflagged: %+v", views)
+	}
+	if views[0].ExecStartNS != 0 || views[0].Responder != -1 {
+		t.Fatalf("timed-out call should have no responder stamps: %+v", views[0])
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1, RingRecords: 8})
+	cs := r.Callsite("op")
+	// 3x the ring without digesting: the oldest 16 records are lost.
+	for i := 0; i < 24; i++ {
+		play(r, clk, cs, 0, 0, 10)
+	}
+	r.Digest()
+	if got := r.Digested(); got != 8 {
+		t.Fatalf("digested = %d, want 8 (one ring's worth)", got)
+	}
+	if got := r.Dropped(); got != 16 {
+		t.Fatalf("dropped = %d, want 16", got)
+	}
+	// Records sees only the live window, all valid.
+	views := r.Records(64)
+	if len(views) != 8 {
+		t.Fatalf("live window = %d records, want 8", len(views))
+	}
+	// Digest resumes cleanly afterwards.
+	play(r, clk, cs, 0, 0, 10)
+	r.Digest()
+	if got := r.Digested(); got != 9 {
+		t.Fatalf("digested after resume = %d, want 9", got)
+	}
+}
+
+func TestDigestStopsAtOpenRecord(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1, RingRecords: 8})
+	cs := r.Callsite("op")
+	open := r.Begin(cs, 0, 0) // left open
+	play(r, clk, cs, 0, 0, 10)
+	r.Digest()
+	if got := r.Digested(); got != 0 {
+		t.Fatalf("digested past an open record: %d", got)
+	}
+	open.Return(r.Now())
+	r.Digest()
+	if got := r.Digested(); got != 2 {
+		t.Fatalf("digested after close = %d, want 2", got)
+	}
+}
+
+// TestTornRecordDetection crosses a writer wrapping the ring with
+// concurrent seqlock readers: every view a reader accepts must be
+// internally consistent (monotonic timeline, correct callsite), which
+// the generation-encoded seq guarantees.
+func TestTornRecordDetection(t *testing.T) {
+	clk := &fakeClock{}
+	clk.set(1)
+	r := New(Options{SampleEvery: 1, RingRecords: 4, Now: clk.now})
+	r.Bind(1)
+	cs := r.Callsite("op")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, v := range r.Records(16) {
+					if v.ReturnNS < v.SubmitNS {
+						t.Errorf("torn view escaped seqlock: %+v", v)
+						return
+					}
+					if v.Name != "op" {
+						t.Errorf("callsite mixed across generations: %+v", v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		play(r, clk, cs, 0, 0, uint64(i%97))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEWMARateAndWasteAttribution(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1, EWMAAlpha: 0.5})
+	hot := r.Callsite("hot")
+	cold := r.Callsite("cold")
+
+	var polls, execs atomic.Uint64
+	r.SetOccupancySource(func() (uint64, uint64) { return polls.Load(), execs.Load() })
+
+	r.Digest() // prime the rate window at t=1
+
+	// Window: 1 second; hot arrives 1000x, cold once; the responders
+	// poll 2000 times and execute 1001 — 999 wasted polls.
+	for i := 0; i < 1000; i++ {
+		play(r, clk, hot, 0, 0, 10)
+	}
+	play(r, clk, cold, 0, 0, 10)
+	clk.set(1_000_000_001)
+	polls.Store(2000)
+	execs.Store(1001)
+	r.Digest()
+
+	byName := map[string]CallsiteStats{}
+	for _, cs := range r.Stats() {
+		byName[cs.Name] = cs
+	}
+	if h := byName["hot"].RateEWMA; h < 400 || h > 1100 {
+		t.Errorf("hot rate EWMA = %.1f, want near 1000/s", h)
+	}
+	if c := byName["cold"].RateEWMA; c > 2 {
+		t.Errorf("cold rate EWMA = %.1f, want near 1/s", c)
+	}
+	hotWaste, coldWaste := byName["hot"].WastedSpin, byName["cold"].WastedSpin
+	if total := hotWaste + coldWaste; total < 998 || total > 1000 {
+		t.Errorf("attributed waste = %.1f, want ~999", total)
+	}
+	if coldWaste <= hotWaste {
+		t.Errorf("inverse-rate attribution inverted: cold %.1f <= hot %.1f", coldWaste, hotWaste)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1})
+	cs := r.Callsite("mc.get")
+	play(r, clk, cs, 0, 0, 1500)
+	out := r.RenderText()
+	for _, want := range []string{"callsite", "mc.get", "last trace", "µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, out)
+		}
+	}
+	var nilRec *Recorder
+	if got := nilRec.RenderText(); !strings.Contains(got, "disabled") {
+		t.Errorf("nil recorder RenderText = %q", got)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1})
+	cs := r.Callsite("op")
+	play(r, clk, cs, 0, 0, 2000)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Callsites []CallsiteStats `json:"callsites"`
+		Records   []RecordView    `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dump.Callsites) != 1 || dump.Callsites[0].Name != "op" {
+		t.Fatalf("JSON callsites = %+v", dump.Callsites)
+	}
+	if len(dump.Records) != 1 || dump.Records[0].ExecEndNS-dump.Records[0].ExecStartNS != 2000 {
+		t.Fatalf("JSON records = %+v", dump.Records)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/flight?format=trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var rows, spans int
+	for _, e := range trace.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			rows++
+		case "X":
+			spans++
+		}
+	}
+	if rows < 2 || spans != 2 {
+		t.Fatalf("chrome trace rows=%d spans=%d, want >=2 rows (requester+responder) and 2 spans", rows, spans)
+	}
+}
+
+func TestNilAndUnboundSafety(t *testing.T) {
+	var r *Recorder
+	if r.Begin(Callsite{}, 0, 0) != nil {
+		t.Fatal("nil recorder Begin must return nil")
+	}
+	r.Digest()
+	r.Stats()
+	r.Records(4)
+	r.Timeout(Callsite{}, nil)
+	r.Fallback(Callsite{})
+	r.Stopped(nil)
+
+	unbound := New(Options{})
+	if unbound.Begin(Callsite{}, 0, 0) != nil {
+		t.Fatal("unbound recorder Begin must return nil")
+	}
+	if unbound.Begin(Callsite{}, -1, 0) != nil {
+		t.Fatal("negative shard must return nil")
+	}
+
+	var rec *Record
+	rec.Claim(0, 1)
+	rec.ExecStart(1)
+	rec.ExecEnd(1)
+	rec.Return(1)
+	if rec.TraceID() != 0 {
+		t.Fatal("nil record trace must be 0")
+	}
+}
+
+// TestRebindAccumulatesArrivals moves one recorder across two fabrics
+// (the hotbench -flight pattern: successive fixtures each SetFlight the
+// same recorder) and checks the exact arrival totals keep accumulating
+// and stay monotonic — Bind folds the outgoing binding's lane counts
+// into a persistent baseline.
+func TestRebindAccumulatesArrivals(t *testing.T) {
+	r, clk := newTestRecorder(t, 2, Options{SampleEvery: 1})
+	a := r.Callsite("fixture.a")
+	for i := 0; i < 5; i++ {
+		play(r, clk, a, 0, 0, 10)
+	}
+	for i := 0; i < 3; i++ {
+		play(r, clk, a, 1, 0, 10)
+	}
+	r.Digest()
+
+	// Second fixture: different shard count, a second callsite, and no
+	// digest between rebind and the stats read.
+	r.Bind(1)
+	b := r.Callsite("fixture.b")
+	for i := 0; i < 4; i++ {
+		play(r, clk, a, 0, 0, 10)
+	}
+	for i := 0; i < 2; i++ {
+		play(r, clk, b, 0, 0, 10)
+	}
+
+	want := map[string]uint64{"fixture.a": 12, "fixture.b": 2}
+	stats := r.Stats()
+	for _, cs := range stats {
+		if n, ok := want[cs.Name]; ok {
+			if cs.Arrivals != n {
+				t.Errorf("%s arrivals = %d, want %d", cs.Name, cs.Arrivals, n)
+			}
+			delete(want, cs.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("callsite %q missing after rebind", name)
+	}
+
+	// A third rebind with zero traffic must not lose the baseline.
+	r.Bind(4)
+	for _, cs := range r.Stats() {
+		if cs.Name == "fixture.a" && cs.Arrivals != 12 {
+			t.Errorf("fixture.a arrivals after idle rebind = %d, want 12", cs.Arrivals)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// flightDump is the JSON document /debug/flight serves: the stats
+// table plus a causal window of recent records, enough to reconstruct
+// individual call timelines and resolve exemplar trace IDs.
+type flightDump struct {
+	Callsites []CallsiteStats `json:"callsites"`
+	Records   []RecordView    `json:"records"`
+	Digested  uint64          `json:"digested"`
+	Dropped   uint64          `json:"dropped"`
+}
+
+// Handler serves the flight recorder at /debug/flight:
+//
+//	GET /debug/flight              JSON stats table + recent records
+//	GET /debug/flight?format=text  RenderText live table
+//	GET /debug/flight?format=trace Chrome trace_event JSON of the window
+//	    &records=N                 window size (default 64)
+//
+// Every request digests pending records first, so the view is current.
+// Safe on a nil recorder (serves an empty document).
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		max := 64
+		if s := req.URL.Query().Get("records"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				max = v
+			}
+		}
+		switch req.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(r.RenderText()))
+		case "trace":
+			w.Header().Set("Content-Type", "application/json")
+			r.Digest()
+			_ = r.WriteChromeTrace(w, max)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			dump := flightDump{
+				Callsites: r.Stats(), // digests first
+				Records:   r.Records(max),
+				Digested:  r.Digested(),
+				Dropped:   r.Dropped(),
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(dump)
+		}
+	})
+}

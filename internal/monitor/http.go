@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
 
@@ -55,11 +56,16 @@ func Handler(m *Monitor) http.Handler {
 }
 
 // Mux bundles the full observability surface of a monitored server:
-// /metrics (Prometheus exposition), /debug/health, and /debug/monitor.
+// /metrics (Prometheus exposition), /debug/health, /debug/monitor, and
+// — when a flight recorder is attached (Options.Flight) —
+// /debug/flight.
 func Mux(reg *telemetry.Registry, m *Monitor) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(reg))
 	mux.Handle("/debug/health", HealthHandler(m))
 	mux.Handle("/debug/monitor", Handler(m))
+	if f := m.Flight(); f != nil {
+		mux.Handle("/debug/flight", flight.Handler(f))
+	}
 	return mux
 }

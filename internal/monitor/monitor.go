@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hotcalls/internal/dist"
+	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
 
@@ -35,6 +36,13 @@ type Options struct {
 	// HotEcall/Warm recorder this is).
 	LatencyDist *dist.Recorder
 
+	// Flight, when set, attaches the call fabric's flight recorder:
+	// every sample carries its per-callsite stats table (digested once
+	// per tick), RenderText grows a per-callsite section, Mux serves
+	// /debug/flight, and — when Rules is nil — the callsite-scoped
+	// storm and spin-waste rules join the default rule set.
+	Flight *flight.Recorder
+
 	// HealthWindow is how many trailing samples an event stays "active"
 	// for in Health().  Default 12.
 	HealthWindow int
@@ -60,6 +68,9 @@ func (o *Options) fill() {
 	}
 	if o.Rules == nil {
 		o.Rules = DefaultRules(DefaultThresholds())
+		if o.Flight != nil {
+			o.Rules = append(o.Rules, FlightRules(DefaultThresholds())...)
+		}
 	}
 }
 
@@ -92,8 +103,12 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 	opts.fill()
 	sampler := NewSampler(reg)
 	sampler.SetDistribution(opts.LatencyDist)
+	sampler.SetFlight(opts.Flight)
 	return &Monitor{sampler: sampler, opts: opts}
 }
+
+// Flight returns the attached flight recorder, or nil.
+func (m *Monitor) Flight() *flight.Recorder { return m.opts.Flight }
 
 // Tick takes one sample, evaluates every rule over the current window,
 // logs emitted events, and returns the sample.

@@ -3,6 +3,8 @@ package monitor
 import (
 	"fmt"
 	"time"
+
+	"hotcalls/internal/flight"
 )
 
 // Severity grades an event: Info is context, Warning is degradation that
@@ -68,11 +70,11 @@ type Thresholds struct {
 	// high-resolution distribution (Options.LatencyDist); coarse samples
 	// fall back to the p99 objective.
 	SLOObjectiveP999 uint64
-	SLOMinCount      uint64 // min latency observations for an interval to count
-	SLOFastWindow   int     // samples in the fast window
-	SLOSlowWindow   int     // samples in the slow window
-	SLOFastBurn     float64 // breaching fraction of the fast window
-	SLOSlowBurn     float64 // breaching fraction of the slow window
+	SLOMinCount      uint64  // min latency observations for an interval to count
+	SLOFastWindow    int     // samples in the fast window
+	SLOSlowWindow    int     // samples in the slow window
+	SLOFastBurn      float64 // breaching fraction of the fast window
+	SLOSlowBurn      float64 // breaching fraction of the slow window
 
 	// EPC thrash.
 	EPCWarnEvictions uint64 // interval evictions → Warning
@@ -80,6 +82,11 @@ type Thresholds struct {
 
 	// Responder-pool saturation (the adaptive fabric's ceiling).
 	PoolSatOccupancy float64 // window occupancy at max responders → Warning
+
+	// Callsite-scoped rules (flight recorder attached).
+	CallsiteMinCalls     uint64  // ignore callsites with fewer interval arrivals
+	CallsiteWastePolls   float64 // attributed wasted polls per interval → Warning
+	CallsiteWasteMaxRate float64 // only callsites at or below this EWMA rate are charged
 }
 
 // DefaultThresholds returns the stock tuning.  The latency objective is
@@ -100,15 +107,19 @@ func DefaultThresholds() Thresholds {
 		SLOObjectiveP99:  2048,
 		SLOObjectiveP999: 4096,
 		SLOMinCount:      8,
-		SLOFastWindow:   3,
-		SLOSlowWindow:   12,
-		SLOFastBurn:     0.67,
-		SLOSlowBurn:     0.25,
+		SLOFastWindow:    3,
+		SLOSlowWindow:    12,
+		SLOFastBurn:      0.67,
+		SLOSlowBurn:      0.25,
 
 		EPCWarnEvictions: 256,
 		EPCCritEvictions: 4096,
 
 		PoolSatOccupancy: 0.5, // the controller's default scale-up watermark
+
+		CallsiteMinCalls:     10,
+		CallsiteWastePolls:   1000,
+		CallsiteWasteMaxRate: 1,
 	}
 }
 
@@ -120,6 +131,18 @@ func DefaultRules(t Thresholds) []Rule {
 		&LatencySLORule{T: t},
 		&EPCThrashRule{T: t},
 		&PoolSaturationRule{T: t},
+	}
+}
+
+// FlightRules returns the callsite-scoped rule set — the per-callsite
+// variants of the fallback-storm and spin-waste rules, reading the
+// flight recorder's stats table that Options.Flight embeds in every
+// sample.  They are appended to DefaultRules automatically when a
+// recorder is attached and Options.Rules is nil.
+func FlightRules(t Thresholds) []Rule {
+	return []Rule{
+		&CallsiteStormRule{T: t},
+		&CallsiteSpinWasteRule{T: t},
 	}
 }
 
@@ -373,4 +396,117 @@ func (r *EPCThrashRule) Evaluate(window []Sample) []Event {
 				"sealing — shrink the secure heap or shard the workload across enclaves",
 			s.DEPCEvicts, s.DEPCFaults, s.EPCResident),
 	}}
+}
+
+// prevCallsites indexes the previous sample's callsite rows by ID so
+// the callsite rules can diff cumulative counters into interval
+// deltas.  Returns nil when the window has no previous sample.
+func prevCallsites(window []Sample) map[int]flight.CallsiteStats {
+	if len(window) < 2 {
+		return nil
+	}
+	prev := window[len(window)-2].Callsites
+	if len(prev) == 0 {
+		return nil
+	}
+	out := make(map[int]flight.CallsiteStats, len(prev))
+	for _, cs := range prev {
+		out[cs.ID] = cs
+	}
+	return out
+}
+
+// CallsiteStormRule is the callsite-scoped FallbackStormRule: the
+// global rule says *that* HotCalls are degrading onto the SDK-fallback
+// cliff, this one says *which callsite* is doing the degrading — the
+// attribution the configless dispatcher needs to demote exactly the
+// offending call path instead of the whole fabric.  It diffs
+// consecutive samples' flight stats tables, so it fires only with a
+// flight recorder attached (Options.Flight).
+type CallsiteStormRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *CallsiteStormRule) Name() string { return "callsite-storm" }
+
+// Evaluate implements Rule.
+func (r *CallsiteStormRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || len(s.Callsites) == 0 {
+		return nil
+	}
+	prev := prevCallsites(window)
+	var events []Event
+	for _, cs := range s.Callsites {
+		p := prev[cs.ID] // zero row for a callsite's first interval
+		dArr := sub(cs.Arrivals, p.Arrivals)
+		if dArr < r.T.CallsiteMinCalls {
+			continue
+		}
+		dTo := sub(cs.Timeouts, p.Timeouts)
+		dFb := sub(cs.Fallbacks, p.Fallbacks)
+		worst := dTo
+		if dFb > worst {
+			worst = dFb
+		}
+		rate := float64(worst) / float64(dArr)
+		if rate < r.T.StormWarnRate {
+			continue
+		}
+		sev, threshold := Warning, r.T.StormWarnRate
+		if rate >= r.T.StormCritRate {
+			sev, threshold = Critical, r.T.StormCritRate
+		}
+		events = append(events, Event{
+			Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+			Value: rate, Threshold: threshold,
+			Diagnosis: fmt.Sprintf(
+				"callsite %q is storming: %.1f%% of its submission attempts degraded this interval "+
+					"(%d timeouts, %d fallbacks / %d attempts; last sampled trace 0x%x) — this call "+
+					"path, not the whole fabric, is outrunning its shard's responders; widen its "+
+					"window or route it to a hotter shard",
+				cs.Name, rate*100, dTo, dFb, dArr, cs.LastTraceID),
+		})
+	}
+	return events
+}
+
+// CallsiteSpinWasteRule is the callsite-scoped SpinWasteRule: the
+// global rule prices the dedicated polling core's idle budget, this one
+// names the callsite being charged for it.  The flight recorder
+// attributes each digest window's empty polls across callsites by
+// inverse EWMA arrival rate, so a rare callsite that keeps a spinning
+// responder alive accumulates attributed waste fast — the "SGX
+// Switchless Calls Made Configless" demotion signal.  Fires on
+// callsites whose attributed waste grew past the interval budget while
+// their arrival rate sits at or below CallsiteWasteMaxRate.
+type CallsiteSpinWasteRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *CallsiteSpinWasteRule) Name() string { return "callsite-spin-waste" }
+
+// Evaluate implements Rule.
+func (r *CallsiteSpinWasteRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || len(s.Callsites) == 0 {
+		return nil
+	}
+	prev := prevCallsites(window)
+	var events []Event
+	for _, cs := range s.Callsites {
+		dWaste := cs.WastedSpin - prev[cs.ID].WastedSpin
+		if dWaste < r.T.CallsiteWastePolls || cs.RateEWMA > r.T.CallsiteWasteMaxRate {
+			continue
+		}
+		events = append(events, Event{
+			Rule: r.Name(), Severity: Warning, Seq: s.Seq, At: s.When,
+			Value: dWaste, Threshold: r.T.CallsiteWastePolls,
+			Diagnosis: fmt.Sprintf(
+				"callsite %q was charged %.0f wasted responder polls this interval at only "+
+					"%.2f calls/s — a rare call path keeping a spinning responder alive; it is "+
+					"the demotion candidate (sleep-tier routing or a tighter IdleTimeout), not "+
+					"the busy callsites sharing its fabric",
+				cs.Name, dWaste, cs.RateEWMA),
+		})
+	}
+	return events
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hotcalls/internal/dist"
+	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
 
@@ -87,6 +88,12 @@ type Sample struct {
 	LatencyP99   uint64 `json:"latency_p99_cycles"`
 	LatencyP999  uint64 `json:"latency_p999_cycles,omitempty"`
 	HiRes        bool   `json:"hi_res,omitempty"`
+
+	// Callsites is the flight recorder's per-callsite stats table at
+	// sampling time (Options.Flight), cumulative like the counter
+	// fields above; the callsite-scoped rules diff consecutive samples'
+	// rows.  Nil when no recorder is attached.
+	Callsites []flight.CallsiteStats `json:"callsites,omitempty"`
 }
 
 // Sampler turns successive registry snapshots into interval Samples.
@@ -99,6 +106,8 @@ type Sampler struct {
 
 	rec      *dist.Recorder
 	prevDist dist.Snapshot
+
+	flight *flight.Recorder
 }
 
 // NewSampler returns a sampler over the registry.  A nil registry is
@@ -110,6 +119,12 @@ func NewSampler(reg *telemetry.Registry) *Sampler {
 // SetDistribution attaches (or, with nil, detaches) the high-resolution
 // latency recorder the sampler prefers over the log2 histogram.
 func (sa *Sampler) SetDistribution(r *dist.Recorder) { sa.rec = r }
+
+// SetFlight attaches (or, with nil, detaches) the flight recorder whose
+// per-callsite stats table each sample carries.  Sampling is the one
+// place per tick that digests the recorder's rings, so every rule and
+// render sees one consistent table per interval.
+func (sa *Sampler) SetFlight(f *flight.Recorder) { sa.flight = f }
 
 // sub clamps counter deltas at zero so a registry swap or reset degrades
 // to an empty interval instead of wrapping.
@@ -160,6 +175,9 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 		PoolResponders:     snap.Gauges[telemetry.MetricPoolResponders],
 		PoolRespondersMax:  snap.Gauges[telemetry.MetricPoolRespondersMax],
 		PoolOccupancyMilli: snap.Gauges[telemetry.MetricPoolOccupancyMilli],
+	}
+	if sa.flight != nil {
+		s.Callsites = sa.flight.Stats() // digests pending records
 	}
 	sa.seq++
 	if !sa.hasPrev {

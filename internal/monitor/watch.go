@@ -3,20 +3,31 @@ package monitor
 import (
 	"fmt"
 	"strings"
+
+	"hotcalls/internal/flight"
 )
 
 // RenderText renders the monitor's trailing n samples as an aligned
 // table plus the health line and active alerts — the body of both
 // `hotbench -watch` (redrawn in place) and `/debug/monitor?format=text`.
-// The line count is stable for a fixed n once the ring holds n samples,
-// which is what lets the watch loop repaint with a cursor-up escape.
+// The line count is stable for a fixed n once the ring holds n samples
+// and the callsite set stops growing, which is what lets the watch loop
+// repaint with a cursor-up escape.
 func (m *Monitor) RenderText(n int) string {
 	var b strings.Builder
 	h := m.Health()
 	fmt.Fprintf(&b, "health: %s", h.Status)
 	if h.Last != nil {
-		fmt.Fprintf(&b, "  (sample %d, depth %d, epc %d pages)",
+		// Gauges carry their units; the pool gauges only exist when a
+		// fabric is attached to the registry.
+		fmt.Fprintf(&b, "  (sample %d, depth %d calls, epc %d pages",
 			h.Last.Seq, h.Last.PendingDepth, h.Last.EPCResident)
+		if h.Last.PoolRespondersMax > 0 {
+			fmt.Fprintf(&b, ", pool %d/%d responders, occupancy %.3f",
+				h.Last.PoolResponders, h.Last.PoolRespondersMax,
+				float64(h.Last.PoolOccupancyMilli)/1000)
+		}
+		b.WriteByte(')')
 	}
 	b.WriteByte('\n')
 
@@ -39,6 +50,9 @@ func (m *Monitor) RenderText(n int) string {
 			s.Seq, s.DSubmissions, fbRate*100, s.Occupancy, s.MEEHitRate*100,
 			s.LatencyP50, s.LatencyP95, s.LatencyP99, spinPerCall, s.DEPCEvicts)
 	}
+	if h.Last != nil && len(h.Last.Callsites) > 0 {
+		renderCallsites(&b, h.Last.Callsites)
+	}
 	if len(h.Alerts) > 0 {
 		b.WriteString("alerts:\n")
 		for _, e := range h.Alerts {
@@ -46,4 +60,21 @@ func (m *Monitor) RenderText(n int) string {
 		}
 	}
 	return b.String()
+}
+
+// renderCallsites renders the per-callsite section from the newest
+// sample's flight stats table — the same consistent view the
+// callsite-scoped rules evaluated, not a fresh digest.
+func renderCallsites(b *strings.Builder, stats []flight.CallsiteStats) {
+	b.WriteString("callsites:\n")
+	fmt.Fprintf(b, "  %-20s %10s %9s %9s %9s %9s %9s %7s %7s %9s\n",
+		"name", "calls", "rate/s", "p50 svc", "p99 svc", "p50 lat", "p99 lat",
+		"timeout", "fallbk", "waste")
+	for _, cs := range stats {
+		fmt.Fprintf(b, "  %-20s %10d %9.1f %9s %9s %9s %9s %7d %7d %9.0f\n",
+			cs.Name, cs.Arrivals, cs.RateEWMA,
+			flight.FmtNS(cs.ServiceP50NS), flight.FmtNS(cs.ServiceP99NS),
+			flight.FmtNS(cs.LatencyP50NS), flight.FmtNS(cs.LatencyP99NS),
+			cs.Timeouts, cs.Fallbacks, cs.WastedSpin)
+	}
 }

@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"io"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/telemetry"
+)
+
+// chromeProcess is a process_name metadata record labelling one PID of
+// the merged trace.
+type chromeProcess struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	Args  map[string]string `json:"args"`
+}
+
+// WriteMergedChromeTrace writes one Chrome trace_event document
+// combining the profiler's input — the telemetry tracer's
+// cycle-attribution events — with the flight recorder's causal call
+// window, so one chrome://tracing / ui.perfetto.dev load shows where
+// the simulated cycles went *and* what each sampled call's real
+// timeline looked like.
+//
+// The two sources run on different time bases and are kept on separate
+// PIDs rather than force-aligned: PID 0 rows carry tracer events with
+// simulated cycles rescaled to microseconds at the testbed frequency,
+// PID 1 rows carry flight records with wall-clock nanoseconds rescaled
+// to microseconds.  Spans on the two PIDs therefore correlate by trace
+// ID and shape, not by absolute position on the shared axis.
+//
+// maxFlight bounds the flight window (Recorder.Records semantics;
+// <= 0 selects its default).  Either source may be nil/empty; the
+// other still exports.
+func WriteMergedChromeTrace(w io.Writer, events []telemetry.Event, f *flight.Recorder, maxFlight int) error {
+	merged := []any{
+		chromeProcess{
+			Name: "process_name", Phase: "M", PID: 0,
+			Args: map[string]string{"name": "telemetry (simulated cycles → µs)"},
+		},
+		chromeProcess{
+			Name: "process_name", Phase: "M", PID: 1,
+			Args: map[string]string{"name": "flight recorder (wall-clock ns → µs)"},
+		},
+	}
+	merged = append(merged, telemetry.ChromeRowMetadata()...)
+	merged = append(merged, telemetry.ChromeTraceEvents(events)...)
+	if f != nil {
+		f.Digest()
+		merged = append(merged, f.ChromeEvents(maxFlight)...)
+	}
+	return telemetry.WriteChromeJSON(w, merged)
+}

@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/telemetry"
+)
+
+// mergedTrace decodes the parts of the trace_event envelope the tests
+// assert on.
+type mergedTrace struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Dur   float64        `json:"dur"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWriteMergedChromeTrace checks that one document carries both the
+// cycle-domain telemetry rows (PID 0) and the ns-domain flight rows
+// (PID 1), each under its own labelled process.
+func TestWriteMergedChromeTrace(t *testing.T) {
+	var ns uint64 = 1
+	f := flight.New(flight.Options{Now: func() uint64 { return ns }, SampleEvery: 1})
+	f.Bind(1)
+	cs := f.Callsite("merge.call")
+	rec := f.Begin(cs, 0, 3)
+	ns = 1_000
+	rec.Claim(0, ns)
+	rec.ExecStart(ns)
+	ns = 4_000
+	rec.ExecEnd(ns)
+	ns = 4_500
+	rec.Return(ns)
+
+	events := []telemetry.Event{
+		{Kind: telemetry.KindHotECall, Name: "hot_ecall", TS: 100, Dur: 620},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, events, f, 16); err != nil {
+		t.Fatal(err)
+	}
+	var tr mergedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+
+	var processes, telemetrySpans, flightSpans int
+	var sawTraceID bool
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Name == "process_name":
+			processes++
+		case e.PID == 0 && e.Phase == "X" && e.Name == "hot_ecall":
+			telemetrySpans++
+		case e.PID == 1 && e.Phase == "X":
+			flightSpans++
+			if id, ok := e.Args["trace_id"].(string); ok && strings.HasPrefix(id, "0x") {
+				sawTraceID = true
+			}
+		}
+	}
+	if processes != 2 {
+		t.Fatalf("want 2 process_name records, got %d", processes)
+	}
+	if telemetrySpans != 1 {
+		t.Fatalf("want 1 telemetry span on PID 0, got %d", telemetrySpans)
+	}
+	// One requester span and one responder span for the sampled call.
+	if flightSpans != 2 {
+		t.Fatalf("want 2 flight spans on PID 1, got %d", flightSpans)
+	}
+	if !sawTraceID {
+		t.Fatal("flight spans carry no trace_id args")
+	}
+}
+
+// TestWriteMergedChromeTraceNilFlight checks the degenerate export:
+// no recorder, telemetry rows only, still a valid document.
+func TestWriteMergedChromeTraceNilFlight(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var tr mergedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	for _, e := range tr.TraceEvents {
+		if e.PID == 1 && e.Phase == "X" {
+			t.Fatalf("flight span present without a recorder: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestExemplarDisabledByDefault(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	h.ObserveExemplar(100, 0xdead)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Sum != 100 {
+		t.Fatalf("observation lost: count=%d sum=%d", snap.Count, snap.Sum)
+	}
+	if snap.Exemplars != nil {
+		t.Fatalf("exemplars recorded without EnableExemplars: %+v", snap.Exemplars)
+	}
+}
+
+func TestExemplarObserveAndSnapshot(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat").EnableExemplars()
+	h.EnableExemplars() // idempotent
+
+	h.ObserveExemplar(100, 0xa)  // bucket bits.Len64(100) = 7
+	h.ObserveExemplar(120, 0xb)  // same bucket: overwrites
+	h.ObserveExemplar(5000, 0xc) // bucket 13
+	h.ObserveExemplar(7000, 0)   // zero trace ID: counted, no exemplar change
+	h.Observe(90)                // untagged path still works alongside
+
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if len(snap.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v, want 2 entries", snap.Exemplars)
+	}
+	// Bucket order is ascending.
+	if snap.Exemplars[0].TraceID != 0xb || snap.Exemplars[0].Value != 120 {
+		t.Errorf("bucket 7 exemplar = %+v, want trace 0xb value 120", snap.Exemplars[0])
+	}
+	if snap.Exemplars[1].TraceID != 0xc || snap.Exemplars[1].Value != 5000 {
+		t.Errorf("bucket 13 exemplar = %+v, want trace 0xc value 5000", snap.Exemplars[1])
+	}
+	if snap.Exemplars[0].Bucket >= snap.Exemplars[1].Bucket {
+		t.Errorf("exemplar buckets out of order: %+v", snap.Exemplars)
+	}
+}
+
+func TestExemplarNilHistogram(t *testing.T) {
+	var h *Histogram
+	if h.EnableExemplars() != nil {
+		t.Fatal("nil histogram should stay nil through EnableExemplars")
+	}
+	h.ObserveExemplar(1, 2) // must not panic
+}
+
+func TestPrometheusExemplarFlag(t *testing.T) {
+	r := New()
+	h := r.Histogram("svc").EnableExemplars()
+	h.ObserveExemplar(1000, 0xbeef)
+
+	var plain, tagged strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheusWith(&tagged, PromOptions{Exemplars: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Errorf("default exposition leaked exemplars:\n%s", plain.String())
+	}
+	want := `# {trace_id="0xbeef"} 1000`
+	if !strings.Contains(tagged.String(), want) {
+		t.Errorf("exemplar exposition missing %q:\n%s", want, tagged.String())
+	}
+}
+
+func TestHandlerExemplarQueryParam(t *testing.T) {
+	r := New()
+	r.Histogram("svc").EnableExemplars().ObserveExemplar(64, 0x77)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(url string) string {
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if body := get(srv.URL + "/metrics"); strings.Contains(body, "trace_id") {
+		t.Errorf("plain /metrics leaked exemplars:\n%s", body)
+	}
+	if body := get(srv.URL + "/metrics?exemplars=1"); !strings.Contains(body, `trace_id="0x77"`) {
+		t.Errorf("?exemplars=1 missing annotation:\n%s", body)
+	}
+}

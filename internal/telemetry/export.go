@@ -9,12 +9,27 @@ import (
 	"hotcalls/internal/sim"
 )
 
+// PromOptions tunes the Prometheus exposition.
+type PromOptions struct {
+	// Exemplars appends OpenMetrics-style exemplar annotations
+	// (`# {trace_id="0x..."} value`) to bucket samples whose histogram
+	// carries one.  Off by default: the 0.0.4 text format predates
+	// exemplars, so plain scrapers get the plain exposition unless the
+	// operator opts in.
+	Exemplars bool
+}
+
 // WritePrometheus renders every counter and histogram in the Prometheus
 // text exposition format (version 0.0.4): counters as `# TYPE x counter`
 // samples, histograms as cumulative `_bucket{le="..."}` series plus
 // `_sum` and `_count`.  Output is sorted by name so dumps diff cleanly.
 // Safe on a nil registry (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WritePrometheusWith(w, PromOptions{})
+}
+
+// WritePrometheusWith is WritePrometheus with explicit options.
+func (r *Registry) WritePrometheusWith(w io.Writer, o PromOptions) error {
 	if r == nil {
 		return nil
 	}
@@ -34,6 +49,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
+		var exemplars map[int]BucketExemplar
+		if o.Exemplars && len(h.Exemplars) > 0 {
+			exemplars = make(map[int]BucketExemplar, len(h.Exemplars))
+			for _, e := range h.Exemplars {
+				exemplars[e.Bucket] = e
+			}
+		}
 		var cum uint64
 		for i, n := range h.Buckets {
 			cum += n
@@ -44,7 +66,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i == histBuckets-1 {
 				le = "+Inf"
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d", name, le, cum); err != nil {
+				return err
+			}
+			if e, ok := exemplars[i]; ok {
+				// Exemplar annotation: the last trace ID observed into
+				// this bucket, resolvable against /debug/flight records.
+				if _, err := fmt.Fprintf(w, " # {trace_id=\"0x%x\"} %d", e.TraceID, e.Value); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}
@@ -120,23 +152,26 @@ type chromeMetadata struct {
 	Args  map[string]string `json:"args"`
 }
 
-// WriteChromeTrace renders the tracer's retained events as Chrome
-// trace_event JSON, loadable in chrome://tracing or ui.perfetto.dev.
-// Spans (Dur > 0) become complete ("X") events; instantaneous events
-// become instant ("i") events.  Safe on a nil registry or disabled
-// tracer (writes an empty trace).
-func (r *Registry) WriteChromeTrace(w io.Writer) error {
-	events := r.Tracer().Events()
-	out := struct {
-		TraceEvents     []any  `json:"traceEvents"`
-		DisplayTimeUnit string `json:"displayTimeUnit"`
-	}{TraceEvents: make([]any, 0, len(events)+len(chromeRowNames)), DisplayTimeUnit: "ns"}
+// ChromeRowMetadata returns the thread_name metadata records naming the
+// exporter's stable rows — shared by WriteChromeTrace and merged-trace
+// writers (internal/profile) so every export groups kinds identically.
+func ChromeRowMetadata() []any {
+	out := make([]any, 0, len(chromeRowNames))
 	for tid := 1; tid <= len(chromeRowNames); tid++ {
-		out.TraceEvents = append(out.TraceEvents, chromeMetadata{
+		out = append(out, chromeMetadata{
 			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
 			Args: map[string]string{"name": chromeRowNames[tid]},
 		})
 	}
+	return out
+}
+
+// ChromeTraceEvents converts tracer events to Chrome trace_event records
+// (cycles rescaled to microseconds at the testbed frequency): spans
+// (Dur > 0) become complete ("X") events, instantaneous events become
+// instant ("i") events.
+func ChromeTraceEvents(events []Event) []any {
+	out := make([]any, 0, len(events))
 	for _, e := range events {
 		ce := chromeEvent{
 			Name:  e.Name,
@@ -156,17 +191,43 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 		} else if e.Dur > 0 {
 			ce.Args = map[string]uint64{"cycles": e.Dur}
 		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out = append(out, ce)
+	}
+	return out
+}
+
+// WriteChromeJSON wraps prepared trace_event records in the standard
+// envelope ({"traceEvents": [...]}) Chrome and Perfetto load.
+func WriteChromeJSON(w io.Writer, events []any) error {
+	out := struct {
+		TraceEvents     []any  `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ns"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []any{}
 	}
 	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteChromeTrace renders the tracer's retained events as Chrome
+// trace_event JSON, loadable in chrome://tracing or ui.perfetto.dev.
+// Spans (Dur > 0) become complete ("X") events; instantaneous events
+// become instant ("i") events.  Safe on a nil registry or disabled
+// tracer (writes an empty trace).
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	events := r.Tracer().Events()
+	all := append(ChromeRowMetadata(), ChromeTraceEvents(events)...)
+	return WriteChromeJSON(w, all)
 }
 
 // Handler returns an http.Handler that serves the registry's Prometheus
 // dump — the /metrics endpoint for the simulated servers.  Safe on nil
 // (serves an empty body).
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		_ = r.WritePrometheusWith(w, PromOptions{
+			Exemplars: req.URL.Query().Get("exemplars") == "1",
+		})
 	})
 }
