@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -20,7 +20,7 @@ test:
 # are the packages with real cross-goroutine traffic; run them under the
 # race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -78,9 +78,18 @@ bench-json:
 # bench-regress is the perf-regression gate: run the full suite into a
 # scratch artifact and diff it against the committed baseline.  Exits
 # non-zero (failing CI) when any metric regressed beyond tolerance.
+# Incident bundles captured along the way land in incidents/ so a
+# failing gate leaves a postmortem artifact behind (CI uploads it).
 bench-regress:
-	$(GO) run ./cmd/hotbench -run all -bench-json bench-candidate.json >/dev/null
+	$(GO) run ./cmd/hotbench -run all -bench-json bench-candidate.json -incident-dir incidents >/dev/null
 	$(GO) run ./cmd/benchdiff -baseline BENCH_hotcalls.json -candidate bench-candidate.json -md bench-regress.md
+
+# incident-demo is the black-box postmortem walkthrough: wedge the
+# fabric's responder, drive a fallback storm, let the monitor's rule
+# fire, and print the captured bundle's critical-path table.  The
+# bundle is also spooled to incidents/ for inspection.
+incident-demo:
+	$(GO) run ./cmd/hotbench -run incident -incident-dir incidents
 
 # profile runs the microbenchmarks under deep tracing and emits folded
 # flame-graph stacks plus a pprof protobuf.

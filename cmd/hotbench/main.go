@@ -20,6 +20,7 @@
 //	hotbench -run all -watch               # live monitor table, redrawn in place
 //	hotbench -run scaling -flight          # per-callsite flight-recorder table
 //	hotbench -run scaling -flight-trace f.json # causal window as Chrome trace
+//	hotbench -run incident -incident-dir incidents # postmortem-bundle demo, spooled to disk
 package main
 
 import (
@@ -60,10 +61,14 @@ func main() {
 	watch := flag.Bool("watch", false, "like -monitor, but redraw a live sample table in place while experiments run")
 	flightFlag := flag.Bool("flight", false, "attach the flight recorder to every fabric the experiments build and print the per-callsite table afterwards")
 	flightTrace := flag.String("flight-trace", "", "like -flight, and also write a Chrome trace_event JSON of the recorder's final causal window to this path")
+	incidentDir := flag.String("incident-dir", "", "spool incident bundles captured by the experiments (see -run incident) to this directory as <bundle-id>.json")
 	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
 
 	bench.SetSeed(*seed)
+	if *incidentDir != "" {
+		bench.SetIncidentDir(*incidentDir)
+	}
 
 	if *watch {
 		*monitorFlag = true

@@ -63,7 +63,7 @@ func TestPoolServerDebugMuxFlight(t *testing.T) {
 
 	srv := httptest.NewServer(s.DebugMux())
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/debug/health", "/debug/monitor", "/debug/flight"} {
+	for _, path := range []string{"/metrics", "/debug/health", "/debug/monitor", "/debug/flight", "/debug/incidents"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)

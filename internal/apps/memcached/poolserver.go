@@ -17,6 +17,7 @@ import (
 
 	"hotcalls/internal/core"
 	"hotcalls/internal/flight"
+	"hotcalls/internal/incident"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
 )
@@ -110,6 +111,7 @@ type PoolServer struct {
 
 	reg *telemetry.Registry
 	mon *monitor.Monitor
+	cap *incident.Capturer
 
 	// Per-operation flight callsites (zero handles — unlabelled — until
 	// SetFlight registers them).
@@ -179,11 +181,30 @@ func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 	return s.mon
 }
 
+// EnableIncidents attaches an incident capturer to the monitor
+// (enabling the monitor with defaults if needed): warning/critical rule
+// transitions freeze self-contained postmortem bundles, served at
+// /debug/incidents by DebugMux.  The fabric's registry is snapshotted
+// into each bundle unless opts names another.  Idempotent: repeat calls
+// return the same capturer.
+func (s *PoolServer) EnableIncidents(opts incident.Options) *incident.Capturer {
+	if s.cap == nil {
+		if opts.Registry == nil {
+			opts.Registry = s.reg
+		}
+		s.cap = incident.New(s.EnableMonitor(monitor.Options{}), opts)
+		s.cap.Attach()
+	}
+	return s.cap
+}
+
 // DebugMux serves the fabric's observability surface: /metrics,
-// /debug/health, /debug/monitor, and — when SetFlight was called —
-// /debug/flight.
+// /debug/health, /debug/monitor, /debug/incidents, and — when
+// SetFlight was called — /debug/flight.
 func (s *PoolServer) DebugMux() *http.ServeMux {
-	return monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
+	mux := monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
+	mux.Handle("/debug/incidents", incident.Handler(s.EnableIncidents(incident.Options{})))
+	return mux
 }
 
 // Pool exposes the underlying CallPool (responder bounds, stats).

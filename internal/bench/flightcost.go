@@ -41,12 +41,34 @@ func runFlightCost() *Report {
 	}
 	ratio := medianOf(ratios)
 
+	// Tail-sampler pair: same interleaved-median design, comparing the
+	// recorder with the tail sampler armed against the recorder with it
+	// off.  On a healthy fabric no call crosses the outlier cutoff, so
+	// the armed hot path adds only the Complete cutoff check on sampled
+	// calls (a plain load + compare) — the gated median ratio is ~1.00x.
+	tailRec := flight.New(flight.Options{})
+	tailRec.ArmTailSampler(flight.TailOptions{})
+	tailOff := make([]float64, flightPairRounds)
+	tailOn := make([]float64, flightPairRounds)
+	tailRatios := make([]float64, flightPairRounds)
+	for i := 0; i < flightPairRounds; i++ {
+		tailOff[i] = measurePoolRec(1, 1, flightPairCalls, rec)
+		rec.Digest()
+		tailOn[i] = measurePoolRec(1, 1, flightPairCalls, tailRec)
+		tailRec.Digest()
+		tailRatios[i] = tailOn[i] / tailOff[i]
+	}
+	tailRatio := medianOf(tailRatios)
+
 	tbl := &table{header: []string{"configuration", "Mops/s (median)", "ratio"}}
 	tbl.add("fabric 1rx1w, recorder off", f2(medianOf(bare)/1e6), "1.00x")
 	tbl.add(fmt.Sprintf("fabric 1rx1w, recorder on (1-in-%d sampling)", flight.DefaultSampleEvery),
 		f2(medianOf(recd)/1e6), f2(ratio)+"x")
+	tbl.add("fabric 1rx1w, recorder on, tail sampler off", f2(medianOf(tailOff)/1e6), "1.00x")
+	tbl.add("fabric 1rx1w, recorder on, tail sampler armed", f2(medianOf(tailOn)/1e6), f2(tailRatio)+"x")
 	r.Table = tbl.String()
 	r.Values = append(r.Values, Value{Name: "recorder-on vs recorder-off", Got: ratio, Unit: "x"})
+	r.Values = append(r.Values, Value{Name: "tail-armed vs tail-off", Got: tailRatio, Unit: "x"})
 	return r
 }
 

@@ -270,6 +270,34 @@ func TestPoolFlightStressRace(t *testing.T) {
 
 // TestPoolCallFlightZeroAlloc pins the recorder-on hot path at zero
 // allocations, sampled and unsampled calls alike.
+// TestPoolCallTailSamplerZeroAlloc asserts the armed tail sampler adds
+// no allocation to the fabric call path while no call is an outlier —
+// the Complete cutoff check is a plain load + compare, and outlier
+// rings are preallocated at Bind.
+func TestPoolCallTailSamplerZeroAlloc(t *testing.T) {
+	p := NewCallPool([]PoolFunc{func(_ int, d uint64) uint64 { return d }},
+		PoolOptions{Shards: 1, SlotsPerShard: 8, Timeout: 1 << 20})
+	rec := flight.New(flight.Options{SampleEvery: 2})
+	rec.ArmTailSampler(flight.TailOptions{}) // arm before Bind (SetFlight)
+	p.SetFlight(rec)
+	cs := rec.Callsite("alloc.tail")
+	p.Start()
+	defer p.Stop()
+	r := p.Requester()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.CallAt(cs, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("tail-armed Call allocates %v per op, want 0", allocs)
+	}
+	if n := len(rec.Outliers(16)); n != 0 {
+		t.Fatalf("healthy sub-ms calls captured %d outliers, want 0", n)
+	}
+}
+
 func TestPoolCallFlightZeroAlloc(t *testing.T) {
 	p := NewCallPool([]PoolFunc{func(_ int, d uint64) uint64 { return d }},
 		PoolOptions{Shards: 1, SlotsPerShard: 8, Timeout: 1 << 20})

@@ -186,7 +186,7 @@ func (h *HotCall) CallAt(cs flight.Callsite, id CallID, data interface{}) (uint6
 	}
 	if !submitted {
 		h.timeouts.Inc()
-		f.Timeout(cs, nil) // exact count; no record was ever opened
+		f.Timeout(cs, 0, nil) // exact count; no record was ever opened
 		return 0, ErrTimeout
 	}
 	h.depth.Inc()
@@ -206,7 +206,7 @@ func (h *HotCall) CallAt(cs flight.Callsite, id CallID, data interface{}) (uint6
 				h.lock.Unlock()
 				h.depth.Dec()
 				if fr != nil {
-					fr.Return(f.Now())
+					f.Complete(fr)
 				}
 				return ret, nil
 			}

@@ -395,7 +395,7 @@ func (r *Requester) post(cs flight.Callsite, id CallID, data uint64) (*poolSlot,
 		pause()
 	}
 	p.timeouts.Inc()
-	p.flight.Timeout(cs, fr)
+	p.flight.Timeout(cs, r.idx, fr)
 	return nil, nil, ErrTimeout
 }
 
@@ -422,7 +422,9 @@ func (r *Requester) CallAt(cs flight.Callsite, id CallID, data uint64) (uint64, 
 		if s.state.Load() == slotDone {
 			ret := s.ret
 			if fr != nil {
-				fr.Return(r.pool.flight.Now())
+				// Complete = Return + the armed tail sampler's outlier
+				// check (one plain cutoff load + compare).
+				r.pool.flight.Complete(fr)
 			}
 			s.state.Store(slotIdle)
 			return ret, nil
@@ -492,7 +494,7 @@ func (pd *PoolPending) Poll() (uint64, error) {
 	if s.state.Load() == slotDone {
 		ret := s.ret
 		if pd.fr != nil {
-			pd.fr.Return(pd.pool.flight.Now())
+			pd.pool.flight.Complete(pd.fr)
 		}
 		s.state.Store(slotIdle)
 		pd.release()

@@ -143,10 +143,20 @@ func ceilPow2(v int) int {
 // totals are exact whenever traffic pauses at a multiple of
 // SampleEvery (which is what tests arrange), and between boundaries
 // readers lag the true count by at most SampleEvery-1.
+//
+// mask is the lane's effective sampling mask: SampleEvery-1 normally,
+// 0 while the tail sampler has the callsite escalated (every call gets
+// a timeline record).  It lives on the lane's own cache line, which
+// Arrive already touches for the counter, so swapping the recorder-
+// global mask for the per-lane one added no line to the hot path.  It
+// is atomic because escalation is written from other goroutines
+// (another shard's timeout path, the digest), but on x86 the load is a
+// plain MOV — no LOCK prefix enters the unsampled path.
 type lane struct {
 	local     uint64
 	published atomic.Uint64
-	_         [cacheLine - 16]byte
+	mask      atomic.Uint64
+	_         [cacheLine - 24]byte
 }
 
 // binding is the recorder's per-fabric storage: one record ring per
@@ -157,6 +167,15 @@ type binding struct {
 	rings []*ring
 	lanes []lane // row-major: shard*stride + callsite
 	sites int    // callsites per shard (MaxCallsites at bind time)
+
+	// Tail-sampler storage (see tail.go).  outliers is the per-shard
+	// outlier retention ring — timeout/fallback and over-cutoff calls
+	// are copied here so they survive main-ring churn; cutoffs is the
+	// binding-local per-callsite latency cutoff in ns (MaxUint64 until
+	// the digest has folded enough samples to set one), read with one
+	// plain load on the sampled return path.
+	outliers []*ring
+	cutoffs  []atomic.Uint64 // indexed by callsite ID, length stride
 
 	// stride is sites rounded up to a power of two, so Arrive clamps a
 	// foreign callsite ID with one AND (siteMask = stride-1) instead of
@@ -198,6 +217,18 @@ type Recorder struct {
 	timeouts  []padCounter
 	fallbacks []padCounter
 
+	// Tail-sampler state (tail.go).  armed gates outlier capture and
+	// escalation; outlierSeen counts captured outliers per callsite
+	// (written on the capture slow path); seenAtDigest is the digest's
+	// last reading, which lets the capture path decide escalation with
+	// plain loads; escalated marks callsites currently sampling every
+	// call.  tail holds the armed thresholds.
+	armed        atomic.Bool
+	tail         TailOptions
+	outlierSeen  []padCounter
+	seenAtDigest []atomic.Uint64
+	escalated    []atomic.Uint32
+
 	// Wasted-spin source (CallPool.Stats) and its last-digest totals.
 	occSource     func() (polls, executes uint64)
 	prevPolls     atomic.Uint64
@@ -218,13 +249,18 @@ type padCounter struct {
 func New(opts Options) *Recorder {
 	opts.fill()
 	r := &Recorder{
-		opts:       opts,
-		sampleMask: uint64(opts.SampleEvery - 1),
-		names:      []string{UnlabelledName},
-		timeouts:   make([]padCounter, opts.MaxCallsites),
-		fallbacks:  make([]padCounter, opts.MaxCallsites),
-		reg:        telemetry.New(),
+		opts:         opts,
+		sampleMask:   uint64(opts.SampleEvery - 1),
+		names:        []string{UnlabelledName},
+		timeouts:     make([]padCounter, opts.MaxCallsites),
+		fallbacks:    make([]padCounter, opts.MaxCallsites),
+		outlierSeen:  make([]padCounter, opts.MaxCallsites),
+		seenAtDigest: make([]atomic.Uint64, opts.MaxCallsites),
+		escalated:    make([]atomic.Uint32, opts.MaxCallsites),
+		reg:          telemetry.New(),
 	}
+	r.tail = TailOptions{}
+	r.tail.fill()
 	return r
 }
 
@@ -286,9 +322,24 @@ func (r *Recorder) Bind(shards int) {
 		sites:    r.opts.MaxCallsites,
 		stride:   stride,
 		siteMask: stride - 1,
+		outliers: make([]*ring, shards),
+		cutoffs:  make([]atomic.Uint64, stride),
 	}
 	for i := range b.rings {
 		b.rings[i] = newRing(r.opts.RingRecords)
+		b.outliers[i] = newRing(r.tail.OutlierRingRecords)
+	}
+	for shard := 0; shard < shards; shard++ {
+		for site := 0; site < stride; site++ {
+			m := r.sampleMask
+			if site < len(r.escalated) && r.escalated[site].Load() != 0 {
+				m = 0 // carry escalation across rebinds
+			}
+			b.lanes[shard*stride+site].mask.Store(m)
+		}
+	}
+	for i := range b.cutoffs {
+		b.cutoffs[i].Store(noCutoff)
 	}
 	r.mu.Lock()
 	if old := r.bind.Load(); old != nil {
@@ -373,7 +424,7 @@ func (r *Recorder) Arrive(cs Callsite, shard int) bool {
 	ln := &b.lanes[shard*b.stride+(int(cs.id)&b.siteMask)]
 	n := ln.local + 1
 	ln.local = n
-	return n&r.sampleMask == 0
+	return n&ln.mask.Load() == 0
 }
 
 // Open opens the timeline record for a call Arrive reported sampled.
@@ -409,13 +460,40 @@ func (r *Recorder) beginSampled(b *binding, cs Callsite, shard int, callID uint1
 }
 
 // Timeout records a submission timeout for the callsite (exact count)
-// and closes the open record, if any, with the timeout flag.
-func (r *Recorder) Timeout(cs Callsite, rec *Record) {
+// and closes the open record, if any, with the timeout flag.  shard is
+// the submitting requester's shard (0 for the single-slot protocols).
+// When the tail sampler is armed the timeout is also retained in the
+// shard's outlier ring — copied from the record if the call was
+// sampled, otherwise synthesized as a partial record (submit 0,
+// timeout flag, end-of-life stamp) so even unsampled timeouts leave
+// forensic evidence — and the callsite escalates to sample-every-call
+// immediately, so the *next* timeout carries a complete timeline.
+func (r *Recorder) Timeout(cs Callsite, shard int, rec *Record) {
 	if r == nil {
 		return
 	}
 	r.timeouts[int(cs.id)%len(r.timeouts)].n.Add(1)
-	rec.closeWith(flagTimeout, r.opts.Now())
+	now := r.opts.Now()
+	rec.closeWith(flagTimeout, now)
+	if !r.armed.Load() {
+		return
+	}
+	b := r.bind.Load()
+	if b == nil || uint(shard) >= uint(len(b.outliers)) {
+		return
+	}
+	if rec != nil {
+		r.captureOutlier(b, rec, shard)
+	} else {
+		dst, gen := b.outliers[shard].openMP()
+		dst.trace.Store(0)
+		dst.meta.Store(uint64(cs.id)<<48 | uint64(shard&0xffff)<<32 | flagTimeout)
+		dst.ctx.Store(0)
+		dst.submit.Store(0)
+		dst.ret.Store(now)
+		dst.seq.Store(2*gen + 2)
+	}
+	r.noteOutlier(int(cs.id)&b.siteMask, true)
 }
 
 // Stopped closes the open record, if any, marking the call as cut off

@@ -137,9 +137,9 @@ func TestTimeoutAndFallbackCounts(t *testing.T) {
 	cs := r.Callsite("op")
 	rec := r.Begin(cs, 0, 0)
 	clk.advance(500)
-	r.Timeout(cs, rec)
+	r.Timeout(cs, 0, rec)
 	r.Fallback(cs)
-	r.Timeout(cs, nil) // unsampled timeout still counts
+	r.Timeout(cs, 0, nil) // unsampled timeout still counts
 
 	stats := r.Stats()
 	if stats[0].Timeouts != 2 || stats[0].Fallbacks != 1 {
@@ -347,6 +347,43 @@ func TestHandlerFormats(t *testing.T) {
 	}
 }
 
+// TestHandlerContentTypes pins the debug endpoint contract: every
+// format sets an explicit Content-Type and unknown formats are a 400,
+// so dashboards and curl pipelines never have to sniff.
+func TestHandlerContentTypes(t *testing.T) {
+	r, clk := newTestRecorder(t, 1, Options{SampleEvery: 1})
+	cs := r.Callsite("op")
+	play(r, clk, cs, 0, 0, 2000)
+	h := Handler(r)
+
+	cases := []struct {
+		query  string
+		code   int
+		ct     string
+		within string
+	}{
+		{"", 200, ContentTypeJSON, `"callsites"`},
+		{"?format=json", 200, ContentTypeJSON, `"callsites"`},
+		{"?format=text", 200, ContentTypeText, "op"},
+		{"?format=trace", 200, ContentTypeJSON, "traceEvents"},
+		{"?format=yaml", 400, "", ""},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight"+c.query, nil))
+		if rec.Code != c.code {
+			t.Errorf("%q: status = %d, want %d", c.query, rec.Code, c.code)
+			continue
+		}
+		if c.ct != "" && rec.Header().Get("Content-Type") != c.ct {
+			t.Errorf("%q: content-type = %q, want %q", c.query, rec.Header().Get("Content-Type"), c.ct)
+		}
+		if c.within != "" && !strings.Contains(rec.Body.String(), c.within) {
+			t.Errorf("%q: body missing %q", c.query, c.within)
+		}
+	}
+}
+
 func TestNilAndUnboundSafety(t *testing.T) {
 	var r *Recorder
 	if r.Begin(Callsite{}, 0, 0) != nil {
@@ -355,7 +392,7 @@ func TestNilAndUnboundSafety(t *testing.T) {
 	r.Digest()
 	r.Stats()
 	r.Records(4)
-	r.Timeout(Callsite{}, nil)
+	r.Timeout(Callsite{}, 0, nil)
 	r.Fallback(Callsite{})
 	r.Stopped(nil)
 

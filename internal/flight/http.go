@@ -6,12 +6,23 @@ import (
 	"strconv"
 )
 
+// Content types shared by the observability handlers (flight, monitor,
+// incident), so every endpoint labels its payload explicitly and
+// consistently.
+const (
+	ContentTypeJSON = "application/json; charset=utf-8"
+	ContentTypeText = "text/plain; charset=utf-8"
+)
+
 // flightDump is the JSON document /debug/flight serves: the stats
-// table plus a causal window of recent records, enough to reconstruct
+// table plus a causal window of recent records — and, with the tail
+// sampler armed, the retained outlier records — enough to reconstruct
 // individual call timelines and resolve exemplar trace IDs.
 type flightDump struct {
 	Callsites []CallsiteStats `json:"callsites"`
 	Records   []RecordView    `json:"records"`
+	Outliers  []RecordView    `json:"outliers,omitempty"`
+	TailArmed bool            `json:"tail_armed,omitempty"`
 	Digested  uint64          `json:"digested"`
 	Dropped   uint64          `json:"dropped"`
 }
@@ -19,12 +30,14 @@ type flightDump struct {
 // Handler serves the flight recorder at /debug/flight:
 //
 //	GET /debug/flight              JSON stats table + recent records
+//	GET /debug/flight?format=json  same, explicitly
 //	GET /debug/flight?format=text  RenderText live table
 //	GET /debug/flight?format=trace Chrome trace_event JSON of the window
 //	    &records=N                 window size (default 64)
 //
-// Every request digests pending records first, so the view is current.
-// Safe on a nil recorder (serves an empty document).
+// Unknown formats get 400.  Every request digests pending records
+// first, so the view is current.  Safe on a nil recorder (serves an
+// empty document).
 func Handler(r *Recorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		max := 64
@@ -35,23 +48,27 @@ func Handler(r *Recorder) http.Handler {
 		}
 		switch req.URL.Query().Get("format") {
 		case "text":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("Content-Type", ContentTypeText)
 			_, _ = w.Write([]byte(r.RenderText()))
 		case "trace":
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", ContentTypeJSON)
 			r.Digest()
 			_ = r.WriteChromeTrace(w, max)
-		default:
-			w.Header().Set("Content-Type", "application/json")
+		case "", "json":
+			w.Header().Set("Content-Type", ContentTypeJSON)
 			dump := flightDump{
 				Callsites: r.Stats(), // digests first
 				Records:   r.Records(max),
+				Outliers:  r.Outliers(max),
+				TailArmed: r.TailArmed(),
 				Digested:  r.Digested(),
 				Dropped:   r.Dropped(),
 			}
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(dump)
+		default:
+			http.Error(w, "unknown format (want json, text, or trace)", http.StatusBadRequest)
 		}
 	})
 }

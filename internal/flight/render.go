@@ -30,6 +30,21 @@ func (r *Recorder) RenderText() string {
 			FmtNS(cs.LatencyP50NS), FmtNS(cs.LatencyP99NS),
 			cs.Timeouts, cs.Fallbacks, cs.WastedSpin, cs.LastTraceID)
 	}
+	if r.TailArmed() {
+		fmt.Fprintf(&b, "tail sampler: armed\n")
+		fmt.Fprintf(&b, "%-20s %10s %10s %10s\n", "callsite", "outliers", "cutoff", "escalated")
+		for _, cs := range stats {
+			if cs.Outliers == 0 && !cs.Escalated && cs.CutoffNS == 0 {
+				continue
+			}
+			esc := "-"
+			if cs.Escalated {
+				esc = "yes"
+			}
+			fmt.Fprintf(&b, "%-20s %10d %10s %10s\n",
+				cs.Name, cs.Outliers, FmtNS(cs.CutoffNS), esc)
+		}
+	}
 	return b.String()
 }
 

@@ -18,6 +18,8 @@ type csState struct {
 	ewmaRate     float64
 	ewmaValid    bool
 	wastedSpin   float64 // attributed wasted responder polls
+	cutoffEWMA   float64 // tail sampler's smoothed outlier cutoff, ns
+	tailQuiet    int     // consecutive outlier-free digests while escalated
 
 	service  *telemetry.Histogram // exec end - exec start, ns
 	latency  *telemetry.Histogram // return - submit, ns
@@ -88,6 +90,7 @@ func (r *Recorder) Digest() {
 		r.cursors[i] = cur
 	}
 	r.foldRates()
+	r.foldTail()
 }
 
 // fold accumulates one closed record into its callsite's statistics.
@@ -226,6 +229,14 @@ type CallsiteStats struct {
 	Fallbacks uint64 `json:"fallbacks"` // exact
 	Sampled   uint64 `json:"sampled"`
 
+	// Tail-sampler fields (zero unless ArmTailSampler was called).
+	// Outliers is the exact count of retained outlier captures;
+	// CutoffNS is the current adaptive latency cutoff (0 until the
+	// first digest sets one); Escalated reports sample-every-call mode.
+	Outliers  uint64 `json:"outliers,omitempty"`
+	CutoffNS  uint64 `json:"cutoff_ns,omitempty"`
+	Escalated bool   `json:"escalated,omitempty"`
+
 	RateEWMA float64 `json:"rate_ewma_per_s"`
 
 	ServiceP50NS  uint64 `json:"service_p50_ns"`
@@ -272,6 +283,15 @@ func (r *Recorder) Stats() []CallsiteStats {
 			Arrivals:  n,
 			Timeouts:  to,
 			Fallbacks: fb,
+		}
+		if r.armed.Load() && site < len(r.outlierSeen) {
+			cs.Outliers = r.outlierSeen[site].n.Load()
+			cs.Escalated = r.escalated[site].Load() != 0
+			if b := r.bind.Load(); b != nil && site < len(b.cutoffs) {
+				if c := b.cutoffs[site].Load(); c != noCutoff {
+					cs.CutoffNS = c
+				}
+			}
 		}
 		if site < len(r.stats) && r.stats[site] != nil {
 			st := r.stats[site]

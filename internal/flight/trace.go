@@ -50,7 +50,13 @@ func usec(ns uint64) float64 { return float64(ns) / 1e3 }
 // telemetry.WriteChromeJSON, and composes with the telemetry
 // exporter's rows (see internal/profile's merged export).
 func (r *Recorder) ChromeEvents(max int) []any {
-	views := r.Records(max)
+	return ChromeEventsForViews(r.Records(max))
+}
+
+// ChromeEventsForViews is ChromeEvents over an explicit set of record
+// views — the incident-bundle viewer renders frozen (possibly
+// long-dead) timelines through this, with no recorder in hand.
+func ChromeEventsForViews(views []RecordView) []any {
 	rows := map[int]string{}
 	var out []any
 	for _, v := range views {

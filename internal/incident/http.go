@@ -1,0 +1,104 @@
+package incident
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/monitor"
+	"hotcalls/internal/telemetry"
+)
+
+// bundleMeta is one row of the /debug/incidents list view.
+type bundleMeta struct {
+	ID            string           `json:"id"`
+	Rule          string           `json:"rule"`
+	Severity      monitor.Severity `json:"severity"`
+	Seq           int              `json:"seq"`
+	CapturedAt    time.Time        `json:"captured_at"`
+	Records       int              `json:"records"`
+	Outliers      int              `json:"outliers"`
+	CriticalPaths int              `json:"critical_paths"`
+}
+
+// Handler serves the capturer at /debug/incidents:
+//
+//	GET /debug/incidents                      JSON list of retained bundles
+//	GET /debug/incidents?id=<id>              one full bundle (JSON)
+//	GET /debug/incidents?id=<id>&format=text  RenderText postmortem summary
+//	GET /debug/incidents?id=<id>&format=trace Chrome trace_event JSON of the
+//	                                          bundle's frozen timelines
+//
+// Unknown formats get 400, unknown IDs 404.  Safe on a nil capturer
+// (serves an empty list).
+func Handler(c *Capturer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		format := req.URL.Query().Get("format")
+		if id == "" {
+			if format != "" && format != "json" {
+				http.Error(w, "unknown format (list view is json only)", http.StatusBadRequest)
+				return
+			}
+			serveList(w, c)
+			return
+		}
+		var b *Bundle
+		if c != nil {
+			b, _ = c.Bundle(id)
+		}
+		if b == nil {
+			http.Error(w, "no such incident bundle: "+id, http.StatusNotFound)
+			return
+		}
+		switch format {
+		case "text":
+			w.Header().Set("Content-Type", flight.ContentTypeText)
+			_, _ = w.Write([]byte(b.RenderText()))
+		case "trace":
+			w.Header().Set("Content-Type", flight.ContentTypeJSON)
+			views := append(append([]flightView(nil), b.Outliers...), b.Records...)
+			_ = telemetry.WriteChromeJSON(w, flight.ChromeEventsForViews(views))
+		case "", "json":
+			w.Header().Set("Content-Type", flight.ContentTypeJSON)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(b)
+		default:
+			http.Error(w, "unknown format (want json, text, or trace)", http.StatusBadRequest)
+		}
+	})
+}
+
+func serveList(w http.ResponseWriter, c *Capturer) {
+	list := struct {
+		Bundles    []bundleMeta `json:"bundles"`
+		Captured   uint64       `json:"captured"`
+		Suppressed uint64       `json:"suppressed"`
+		DiskError  string       `json:"disk_error,omitempty"`
+	}{Bundles: []bundleMeta{}}
+	if c != nil {
+		for _, b := range c.Bundles() {
+			list.Bundles = append(list.Bundles, bundleMeta{
+				ID:            b.ID,
+				Rule:          b.Event.Rule,
+				Severity:      b.Event.Severity,
+				Seq:           b.Event.Seq,
+				CapturedAt:    b.CapturedAt,
+				Records:       len(b.Records),
+				Outliers:      len(b.Outliers),
+				CriticalPaths: len(b.CriticalPaths),
+			})
+		}
+		var err error
+		list.Captured, list.Suppressed, err = c.Stats()
+		if err != nil {
+			list.DiskError = err.Error()
+		}
+	}
+	w.Header().Set("Content-Type", flight.ContentTypeJSON)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(list)
+}

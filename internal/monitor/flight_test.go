@@ -38,7 +38,7 @@ func driveTimeouts(f *flight.Recorder, cs flight.Callsite, clk *flightClock, n i
 	for i := 0; i < n; i++ {
 		rec := f.Begin(cs, 0, 1)
 		clk.advance(500)
-		f.Timeout(cs, rec)
+		f.Timeout(cs, 0, rec)
 	}
 }
 

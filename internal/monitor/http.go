@@ -17,7 +17,7 @@ import (
 func HealthHandler(m *Monitor) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		h := m.Health()
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", flight.ContentTypeJSON)
 		if h.Status == "critical" {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
@@ -28,9 +28,10 @@ func HealthHandler(m *Monitor) http.Handler {
 }
 
 // Handler serves the monitor's recent window on /debug/monitor: JSON
-// with the trailing samples and the event log by default, or the
-// human-readable table with ?format=text.  ?n=K bounds the sample count
-// (default 20).
+// with the trailing samples and the event log by default (or with
+// ?format=json), the human-readable table with ?format=text, 400 on
+// anything else — the same format contract as /debug/flight.  ?n=K
+// bounds the sample count (default 20).
 func Handler(m *Monitor) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 20
@@ -39,19 +40,22 @@ func Handler(m *Monitor) http.Handler {
 				n = parsed
 			}
 		}
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch req.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", flight.ContentTypeText)
 			_, _ = w.Write([]byte(m.RenderText(n)))
-			return
+		case "", "json":
+			w.Header().Set("Content-Type", flight.ContentTypeJSON)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Health  Health   `json:"health"`
+				Samples []Sample `json:"samples"`
+				Events  []Event  `json:"events"`
+			}{m.Health(), m.Window(n), m.Events()})
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Health  Health   `json:"health"`
-			Samples []Sample `json:"samples"`
-			Events  []Event  `json:"events"`
-		}{m.Health(), m.Window(n), m.Events()})
 	})
 }
 

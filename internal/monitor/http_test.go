@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
 
@@ -74,6 +75,43 @@ func TestMonitorHandler(t *testing.T) {
 	Handler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor?format=text", nil))
 	if !strings.Contains(rec.Body.String(), "health: ok") {
 		t.Fatalf("text format body:\n%s", rec.Body.String())
+	}
+}
+
+// TestMonitorHandlerContentTypes mirrors the flight endpoint contract:
+// explicit Content-Type on every format, 400 on unknown ones.
+func TestMonitorHandlerContentTypes(t *testing.T) {
+	reg := telemetry.New()
+	m := New(reg, Options{})
+	m.Tick()
+	h := Handler(m)
+
+	cases := []struct {
+		query string
+		code  int
+		ct    string
+	}{
+		{"", 200, flight.ContentTypeJSON},
+		{"?format=json", 200, flight.ContentTypeJSON},
+		{"?format=text", 200, flight.ContentTypeText},
+		{"?format=csv", 400, ""},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/monitor"+c.query, nil))
+		if rec.Code != c.code {
+			t.Errorf("%q: status = %d, want %d", c.query, rec.Code, c.code)
+			continue
+		}
+		if c.ct != "" && rec.Header().Get("Content-Type") != c.ct {
+			t.Errorf("%q: content-type = %q, want %q", c.query, rec.Header().Get("Content-Type"), c.ct)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	HealthHandler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != flight.ContentTypeJSON {
+		t.Errorf("health content-type = %q", ct)
 	}
 }
 

@@ -49,8 +49,19 @@ type Options struct {
 
 	// OnEvent, when set, is invoked synchronously for every emitted
 	// event (after it is logged).  Keep it fast; it runs on the sampling
-	// goroutine.
+	// goroutine.  SetOnEvent attaches or replaces it after New.
 	OnEvent func(Event)
+
+	// EventDebounce, when > 0, adds per-rule hysteresis: while a rule's
+	// firing episode is live, repeat events at the same or lower
+	// severity are suppressed (neither logged nor passed to OnEvent) —
+	// only the opening event and severity escalations get through.  An
+	// episode ends once the rule stays silent for EventDebounce
+	// consecutive samples; the next firing opens a new episode and
+	// emits again.  A rule flapping across its threshold therefore
+	// produces one event transition per episode, not a storm.  Default
+	// 0 keeps the historical emit-every-evaluation behavior.
+	EventDebounce int
 }
 
 func (o *Options) fill() {
@@ -90,6 +101,7 @@ type Monitor struct {
 
 	events        []Event
 	droppedEvents uint64
+	episodes      map[string]*episode // per-rule debounce state
 
 	stop    chan struct{}
 	done    chan struct{}
@@ -110,6 +122,52 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 // Flight returns the attached flight recorder, or nil.
 func (m *Monitor) Flight() *flight.Recorder { return m.opts.Flight }
 
+// SetOnEvent attaches (or replaces, or with nil detaches) the event
+// callback after construction — internal/incident uses this to wire a
+// capturer onto an already-running monitor.  The callback runs
+// synchronously on the sampling goroutine, after debounce filtering.
+func (m *Monitor) SetOnEvent(cb func(Event)) {
+	m.mu.Lock()
+	m.opts.OnEvent = cb
+	m.mu.Unlock()
+}
+
+// episode is one rule's live firing state for EventDebounce hysteresis.
+type episode struct {
+	severity Severity // worst emitted severity this episode
+	lastSeq  int      // newest sample the rule fired on (emitted or not)
+}
+
+// debounceLocked filters freshly-fired events through the per-rule
+// episode state.  Caller holds m.mu.
+func (m *Monitor) debounceLocked(fired []Event) []Event {
+	if m.opts.EventDebounce <= 0 || len(fired) == 0 {
+		return fired
+	}
+	if m.episodes == nil {
+		m.episodes = make(map[string]*episode)
+	}
+	out := fired[:0]
+	for _, e := range fired {
+		ep, live := m.episodes[e.Rule]
+		if live && e.Seq-ep.lastSeq > m.opts.EventDebounce {
+			live = false // the rule went quiet: episode over
+		}
+		switch {
+		case !live:
+			m.episodes[e.Rule] = &episode{severity: e.Severity, lastSeq: e.Seq}
+			out = append(out, e)
+		case e.Severity > ep.severity:
+			ep.severity = e.Severity
+			ep.lastSeq = e.Seq
+			out = append(out, e)
+		default:
+			ep.lastSeq = e.Seq // suppressed, but the episode stays live
+		}
+	}
+	return out
+}
+
 // Tick takes one sample, evaluates every rule over the current window,
 // logs emitted events, and returns the sample.
 func (m *Monitor) Tick() Sample {
@@ -129,6 +187,7 @@ func (m *Monitor) Tick() Sample {
 	for _, r := range m.opts.Rules {
 		fired = append(fired, r.Evaluate(window)...)
 	}
+	fired = m.debounceLocked(fired)
 	for _, e := range fired {
 		if len(m.events) >= m.opts.EventCap {
 			copy(m.events, m.events[1:])

@@ -66,6 +66,17 @@ func DefaultPolicy() Policy {
 			// ratio by tens of percent at SampleEvery=256 — not to
 			// re-litigate the <1% budget, which EXPERIMENTS.md records
 			// from the interleaved medians.
+			// The tail-sampler pair shares the flight experiment's design
+			// (same-run interleaved ratio, expected ~1.00x) and failure
+			// mode: the armed Complete check growing past a plain
+			// load+compare — a per-call clock read or outlier capture on
+			// healthy traffic — would sink the ratio well past the band.
+			{Pattern: "flight/tail-*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
+			// The incident demo gates a count (bundles captured per storm
+			// episode, exactly 1); "calls" units default lower-better,
+			// which would read a broken capture path (0 bundles) as an
+			// improvement.
+			{Pattern: "incident/*", ForceDirection: true, Direction: HigherBetter},
 			{Pattern: "flight/*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
 			// The fabric scaling curve is real wall-clock on shared CI
 			// hosts, not simulated cycles.  Its values are same-run
