@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo epc-demo
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -16,11 +16,11 @@ test:
 	$(GO) test ./...
 
 # The HotCall protocol, the telemetry registry, the health monitor, the
-# distribution recorder, and the fabric-routed memcached/lighttpd ports
-# are the packages with real cross-goroutine traffic; run them under the
-# race detector.
+# distribution recorder, the EPC paging manager and its observatory, and
+# the fabric-routed memcached/lighttpd ports are the packages with real
+# cross-goroutine traffic; run them under the race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/epc/... ./internal/epcstat/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -90,6 +90,13 @@ bench-regress:
 # bundle is also spooled to incidents/ for inspection.
 incident-demo:
 	$(GO) run ./cmd/hotbench -run incident -incident-dir incidents
+
+# epc-demo reproduces the paper's oversubscription cliff against the
+# analytic paging model, prices the pressure observatory's hot-path
+# overhead, and renders the oversubscribed fault heatmap (the
+# /debug/epc?format=svg view) to epc-heatmap.svg (CI uploads it).
+epc-demo:
+	$(GO) run ./cmd/hotbench -epc-sweep -epc-svg epc-heatmap.svg
 
 # profile runs the microbenchmarks under deep tracing and emits folded
 # flame-graph stacks plus a pprof protobuf.

@@ -21,6 +21,7 @@
 //	hotbench -run scaling -flight          # per-callsite flight-recorder table
 //	hotbench -run scaling -flight-trace f.json # causal window as Chrome trace
 //	hotbench -run incident -incident-dir incidents # postmortem-bundle demo, spooled to disk
+//	hotbench -epc-sweep -epc-svg epc-heatmap.svg # EPC oversubscription cliff + fault heatmap
 package main
 
 import (
@@ -62,12 +63,20 @@ func main() {
 	flightFlag := flag.Bool("flight", false, "attach the flight recorder to every fabric the experiments build and print the per-callsite table afterwards")
 	flightTrace := flag.String("flight-trace", "", "like -flight, and also write a Chrome trace_event JSON of the recorder's final causal window to this path")
 	incidentDir := flag.String("incident-dir", "", "spool incident bundles captured by the experiments (see -run incident) to this directory as <bundle-id>.json")
+	epcSweep := flag.Bool("epc-sweep", false, "shorthand for -run epc: the EPC oversubscription cliff and observer-overhead pair")
+	epcSVG := flag.String("epc-svg", "", "write the epc experiment's oversubscribed fault-heatmap SVG (the /debug/epc?format=svg view) to this path")
 	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
 
 	bench.SetSeed(*seed)
 	if *incidentDir != "" {
 		bench.SetIncidentDir(*incidentDir)
+	}
+	if *epcSVG != "" {
+		bench.SetEPCSVGPath(*epcSVG)
+	}
+	if *epcSweep {
+		*run = "epc"
 	}
 
 	if *watch {

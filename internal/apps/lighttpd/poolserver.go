@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"hotcalls/internal/core"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/incident"
 	"hotcalls/internal/monitor"
@@ -41,6 +43,11 @@ type PoolServer struct {
 	reg *telemetry.Registry
 	mon *monitor.Monitor
 	cap *incident.Capturer
+
+	// EPC paging model (EnableEPC): every served document touches the
+	// pages its body spans, owner-tagged by connection.
+	epcMgr  *epc.Manager
+	epcStat *epcstat.Collector
 
 	// Flight callsites per request method (zero — unlabelled — until
 	// SetFlight registers them).
@@ -104,13 +111,79 @@ func (s *PoolServer) callsiteFor(raw string) flight.Callsite {
 	return s.csGet
 }
 
+// enclavePageSpan sizes the modeled enclave heap in multiples of the
+// EPC capacity: document paths hash across a region 16x the EPC, so
+// residency pressure tracks the distinct pages traffic touches.
+const enclavePageSpan = 16
+
+// EnableEPC attaches a simulated EPC of the given capacity (bytes;
+// <= one page selects epc.DefaultCapacityBytes) plus its pressure
+// observatory: every served document then touches the pages its body
+// spans, owner-tagged by client connection.  Call after SetTelemetry
+// and before EnableMonitor/DebugMux; idempotent.
+func (s *PoolServer) EnableEPC(capacityBytes int) *epcstat.Collector {
+	if s.epcStat == nil {
+		if capacityBytes <= epc.PageSize {
+			capacityBytes = epc.DefaultCapacityBytes
+		}
+		var sealKey [16]byte
+		copy(sealKey[:], "www-epc-paging-k")
+		s.epcMgr = epc.NewManager(capacityBytes, sealKey)
+		if s.reg != nil {
+			s.epcMgr.SetTelemetry(s.reg)
+		}
+		s.epcStat = epcstat.New(epcstat.Options{})
+		s.epcStat.Attach(s.epcMgr)
+		for i := range s.conns {
+			s.epcStat.SetLabel(epc.OwnerID(i+1), fmt.Sprintf("conn%d", i))
+		}
+	}
+	return s.epcStat
+}
+
+// EPCManager exposes the simulated EPC (nil until EnableEPC).
+func (s *PoolServer) EPCManager() *epc.Manager { return s.epcMgr }
+
+// fnv64 is FNV-1a over the document path.
+func fnv64(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// touchEPC charges the paging cost of serving one document: the pages
+// its body spans (at least one for the head), owner-tagged by the
+// submitting connection.  No-op until EnableEPC.
+func (s *PoolServer) touchEPC(requester int, path string, bodyLen int) {
+	if s.epcMgr == nil {
+		return
+	}
+	span := uint64(enclavePageSpan * s.epcMgr.CapacityPages())
+	base := fnv64(path) % span
+	pages := uint64(bodyLen+epc.PageSize-1) / epc.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	owner := epc.OwnerID(requester + 1)
+	for p := uint64(0); p < pages; p++ {
+		s.epcMgr.TouchAs(owner, (base+p)%span)
+	}
+}
+
 // EnableMonitor attaches a health monitor over the fabric's registry,
 // with the flight recorder (when attached) feeding the callsite-scoped
-// rules.  Idempotent: repeat calls return the same monitor.
+// rules and the EPC observatory (when enabled) feeding the EPC rules.
+// Idempotent: repeat calls return the same monitor.
 func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 	if s.mon == nil {
 		if opts.Flight == nil {
 			opts.Flight = s.pool.Flight()
+		}
+		if opts.EPC == nil {
+			opts.EPC = s.epcStat
 		}
 		s.mon = monitor.New(s.reg, opts)
 	}
@@ -174,8 +247,10 @@ func (s *PoolServer) serve(requester int, data uint64) uint64 {
 		status = 400
 	} else if doc, ok := s.docroot[req.Path]; !ok {
 		status = 404
+		s.touchEPC(requester, req.Path, 0)
 	} else {
 		body = doc
+		s.touchEPC(requester, req.Path, len(body))
 	}
 	head := ResponseHead(status, len(body))
 	p := copy(b.resp, head)

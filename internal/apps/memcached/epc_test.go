@@ -1,0 +1,75 @@
+package memcached
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
+	"hotcalls/internal/monitor"
+	"hotcalls/internal/telemetry"
+)
+
+// TestPoolServerEPCAttribution wires the paging model into the fabric
+// server and checks served traffic lands in the observatory owner-tagged
+// by connection.
+func TestPoolServerEPCAttribution(t *testing.T) {
+	s := NewPoolServer(2, fastPoolOpts(2))
+	reg := telemetry.New()
+	s.SetTelemetry(reg)
+	col := s.EnableEPC(256 * epc.PageSize)
+	if col == nil || s.EPCManager() == nil {
+		t.Fatal("EnableEPC returned no collector/manager")
+	}
+	if again := s.EnableEPC(64 * epc.PageSize); again != col {
+		t.Fatal("EnableEPC is not idempotent")
+	}
+	s.Start()
+	defer s.Stop()
+
+	val := bytes.Repeat([]byte{0xAB}, ValueSize)
+	for conn := 0; conn < 2; conn++ {
+		c := s.Conn(conn)
+		for i := 0; i < 8; i++ {
+			key := fmt.Sprintf("conn%d-key%d", conn, i)
+			if resp, err := c.Do(&Request{Op: OpSet, Key: key, Value: val}); err != nil || resp.Status != StatusOK {
+				t.Fatalf("SET = (%+v, %v)", resp, err)
+			}
+			if resp, err := c.Do(&Request{Op: OpGet, Key: key}); err != nil || resp.Status != StatusOK {
+				t.Fatalf("GET = (%+v, %v)", resp, err)
+			}
+		}
+	}
+
+	snap := col.Snapshot()
+	if snap == nil || snap.Faults == 0 {
+		t.Fatalf("no paging traffic observed: %+v", snap)
+	}
+	byLabel := map[string]epcstat.OwnerStats{}
+	for _, o := range snap.Owners {
+		byLabel[o.Label] = o
+	}
+	for conn := 0; conn < 2; conn++ {
+		o, ok := byLabel[fmt.Sprintf("conn%d", conn)]
+		if !ok || o.Faults == 0 {
+			t.Fatalf("connection %d missing from owner table: %+v", conn, snap.Owners)
+		}
+	}
+	if got := reg.Counter(telemetry.MetricEPCFaults).Load(); got != snap.Faults {
+		t.Fatalf("registry faults %d != snapshot faults %d", got, snap.Faults)
+	}
+
+	// EnableMonitor picks the collector up automatically, and the debug
+	// mux serves the observatory.
+	if s.EnableMonitor(monitor.Options{}).EPCStat() != col {
+		t.Fatal("EnableMonitor did not adopt the EPC collector")
+	}
+	rr := httptest.NewRecorder()
+	s.DebugMux().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/epc?format=text", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "conn0(#1)") {
+		t.Fatalf("/debug/epc = %d %q", rr.Code, rr.Body.String())
+	}
+}

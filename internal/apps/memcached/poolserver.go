@@ -16,6 +16,8 @@ import (
 	"sync"
 
 	"hotcalls/internal/core"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/incident"
 	"hotcalls/internal/monitor"
@@ -113,6 +115,13 @@ type PoolServer struct {
 	mon *monitor.Monitor
 	cap *incident.Capturer
 
+	// EPC paging model (EnableEPC): every served request touches the
+	// pages its key/value footprint occupies, owner-tagged by
+	// connection, so the observatory attributes paging pressure per
+	// client.
+	epcMgr  *epc.Manager
+	epcStat *epcstat.Collector
+
 	// Per-operation flight callsites (zero handles — unlabelled — until
 	// SetFlight registers them).
 	csGet, csSet, csDelete flight.Callsite
@@ -168,13 +177,83 @@ func (s *PoolServer) callsiteFor(op byte) flight.Callsite {
 	return flight.Callsite{}
 }
 
+// enclavePageSpan sizes the modeled enclave heap in multiples of the EPC
+// capacity: keys hash across a region 16x the EPC, so residency pressure
+// comes from how many distinct pages traffic actually touches, not from
+// hash collisions.
+const enclavePageSpan = 16
+
+// EnableEPC attaches a simulated EPC of the given capacity (bytes;
+// <= one page selects epc.DefaultCapacityBytes) plus its pressure
+// observatory.  Every served request then touches the pages its
+// key/value footprint maps to, owner-tagged by client connection, so
+// /debug/epc and the EPC monitor rules attribute paging per client.
+// Call after SetTelemetry and before EnableMonitor/DebugMux so the
+// counters and rules wire up; idempotent: repeat calls return the same
+// collector.
+func (s *PoolServer) EnableEPC(capacityBytes int) *epcstat.Collector {
+	if s.epcStat == nil {
+		if capacityBytes <= epc.PageSize {
+			capacityBytes = epc.DefaultCapacityBytes
+		}
+		var sealKey [16]byte
+		copy(sealKey[:], "mc-epc-paging-kv")
+		s.epcMgr = epc.NewManager(capacityBytes, sealKey)
+		if s.reg != nil {
+			s.epcMgr.SetTelemetry(s.reg)
+		}
+		s.epcStat = epcstat.New(epcstat.Options{})
+		s.epcStat.Attach(s.epcMgr)
+		for i := range s.conns {
+			s.epcStat.SetLabel(epc.OwnerID(i+1), fmt.Sprintf("conn%d", i))
+		}
+	}
+	return s.epcStat
+}
+
+// EPCManager exposes the simulated EPC (nil until EnableEPC).
+func (s *PoolServer) EPCManager() *epc.Manager { return s.epcMgr }
+
+// fnv64 is FNV-1a, the same mix the store stripes with.
+func fnv64(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// touchEPC charges the paging cost of one request: the pages of the
+// key's value footprint (at least one), owner-tagged by the submitting
+// connection.  No-op until EnableEPC.
+func (s *PoolServer) touchEPC(requester int, key string, valueLen int) {
+	if s.epcMgr == nil {
+		return
+	}
+	span := uint64(enclavePageSpan * s.epcMgr.CapacityPages())
+	base := fnv64(key) % span
+	pages := uint64(valueLen+epc.PageSize-1) / epc.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	owner := epc.OwnerID(requester + 1)
+	for p := uint64(0); p < pages; p++ {
+		s.epcMgr.TouchAs(owner, (base+p)%span)
+	}
+}
+
 // EnableMonitor attaches a health monitor over the fabric's registry,
 // with the flight recorder (when attached) feeding the callsite-scoped
-// rules.  Idempotent: repeat calls return the same monitor.
+// rules and the EPC observatory (when enabled) feeding the EPC rules.
+// Idempotent: repeat calls return the same monitor.
 func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 	if s.mon == nil {
 		if opts.Flight == nil {
 			opts.Flight = s.pool.Flight()
+		}
+		if opts.EPC == nil {
+			opts.EPC = s.epcStat
 		}
 		s.mon = monitor.New(s.reg, opts)
 	}
@@ -243,15 +322,19 @@ func (s *PoolServer) serve(requester int, data uint64) uint64 {
 	case OpGet:
 		if n, ok := s.store.get(req.Key, b.val[:]); ok {
 			resp.Value = b.val[:n]
+			s.touchEPC(requester, req.Key, n)
 		} else {
 			resp.Status = StatusNotFound
+			s.touchEPC(requester, req.Key, 0)
 		}
 	case OpSet:
 		s.store.set(req.Key, req.Value)
+		s.touchEPC(requester, req.Key, len(req.Value))
 	case OpDelete:
 		if !s.store.delete(req.Key) {
 			resp.Status = StatusNotFound
 		}
+		s.touchEPC(requester, req.Key, 0)
 	}
 	respLen, err := EncodeResponse(b.resp, &resp)
 	if err != nil {

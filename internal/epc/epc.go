@@ -9,6 +9,13 @@
 // version pages so that swapped-out content is confidential, tamper-evident
 // and replay-protected — and a performance half, the per-fault cycle costs
 // used by the memory system.
+//
+// Pages are owner-tagged: each page carries the OwnerID of the enclave or
+// tenant that faulted it in, so paging traffic can be attributed per owner
+// (which owner's fault evicted which owner's page).  An optional Observer
+// receives fault/evict events exactly and a hash-sampled subset of touches
+// — the feed internal/epcstat turns into working-set estimates and
+// interference matrices.
 package epc
 
 import (
@@ -17,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"hotcalls/internal/telemetry"
 )
@@ -48,6 +56,38 @@ var (
 	ErrSwapReplay    = errors.New("epc: swapped page version mismatch (replay attack)")
 )
 
+// OwnerID identifies the enclave/tenant a page belongs to.  Owner 0 is
+// the anonymous single-enclave default used by the legacy Touch path.
+type OwnerID uint32
+
+// Observer receives the manager's paging events.  Fault and evict events
+// are delivered exactly (attribution must sum); touches are sampled by a
+// per-page multiplicative hash so the unsampled hot path stays one
+// multiply + shift + compare.  All callbacks run under the manager's
+// lock: they must be fast, must not allocate in steady state, and must
+// not call back into the Manager.  Flush is invoked by FlushObserver,
+// also under the lock, to publish accumulated state to concurrent
+// readers; now is the manager's cumulative touch count (the observer's
+// clock).
+type Observer interface {
+	// ObserveTouch reports a hash-sampled touch of a page (resident or
+	// faulting) at touch-clock time now.
+	ObserveTouch(owner OwnerID, page uint64, now uint64)
+	// ObserveFault reports every fault, before its evictions.
+	ObserveFault(owner OwnerID, page uint64)
+	// ObserveEvict reports every eviction: culprit is the owner whose
+	// fault forced it, victim the owner of the evicted page, dirty
+	// whether the EWB sealed content (a writeback).
+	ObserveEvict(culprit, victim OwnerID, page uint64, dirty bool)
+	// Flush publishes accumulated observer state for concurrent readers.
+	Flush(now uint64)
+}
+
+// hashMul is the multiplicative page-sampling hash constant (splitmix64's
+// golden-ratio increment): page*hashMul mixes low page-number entropy into
+// the top bits the sample gate tests.
+const hashMul = 0x9E3779B97F4A7C15
+
 // SealedPage is an encrypted page in untrusted memory, as produced by EWB.
 type SealedPage struct {
 	nonce   [12]byte
@@ -56,14 +96,17 @@ type SealedPage struct {
 }
 
 type pageState struct {
-	referenced bool   // clock algorithm reference bit
-	version    uint64 // bumped on every swap-out (Version Array entry)
+	owner      OwnerID // the owner whose fault installed the page
+	referenced bool    // clock algorithm reference bit
+	version    uint64  // bumped on every swap-out (Version Array entry)
 }
 
 // Manager tracks EPC residency for a set of enclave pages and charges
 // paging costs.  Page numbers are virtual page indices (address/PageSize).
-// It is not safe for concurrent use.
+// All methods are safe for concurrent use: one mutex serialises the
+// paging state, matching the real SGX driver's single paging lock.
 type Manager struct {
+	mu       sync.Mutex
 	capacity int // pages
 	resident map[uint64]*pageState
 	clock    []uint64 // circular list of resident page numbers
@@ -76,16 +119,26 @@ type Manager struct {
 	swapped  map[uint64]*SealedPage
 	versions map[uint64]uint64 // the trusted Version Array (lives in EPC)
 
-	faults    uint64
-	evictions uint64
-	touches   uint64
+	faults     uint64
+	evictions  uint64
+	writebacks uint64 // dirty evictions (content sealed)
+	touches    uint64
+
+	// Observer hook (nil when no observatory is attached).  sampleShift
+	// implements the touch-sampling gate: a touch is sampled when the top
+	// sampleBits bits of page*hashMul are zero, i.e. with probability
+	// 2^-sampleBits; shift 64 (sampleBits 0) samples every touch.
+	obs         Observer
+	sampleShift uint
 
 	// Telemetry counters (nil when observability is off): faults are
-	// ELDU work, evictions are EWB work.  The resident gauge tracks the
-	// current EPC occupancy for the health monitor's thrash detection.
-	faultCtr    *telemetry.Counter
-	evictCtr    *telemetry.Counter
-	residentGge *telemetry.Gauge
+	// ELDU work, evictions are EWB work, writebacks the dirty subset.
+	// The resident gauge tracks the current EPC occupancy for the health
+	// monitor's thrash detection.
+	faultCtr     *telemetry.Counter
+	evictCtr     *telemetry.Counter
+	writebackCtr *telemetry.Counter
+	residentGge  *telemetry.Gauge
 }
 
 // NewManager returns an EPC manager with the given capacity in bytes,
@@ -117,54 +170,117 @@ func NewManager(capacityBytes int, sealKey [16]byte) *Manager {
 func (m *Manager) CapacityPages() int { return m.capacity }
 
 // ResidentPages returns the number of currently resident pages.
-func (m *Manager) ResidentPages() int { return len(m.resident) }
+func (m *Manager) ResidentPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.resident)
+}
 
 // Stats returns cumulative touch, fault, and eviction counts.
 func (m *Manager) Stats() (touches, faults, evictions uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.touches, m.faults, m.evictions
 }
 
-// SetTelemetry attaches fault (ELDU) and eviction (EWB) counters from
-// the registry.  A nil registry detaches.
+// Writebacks returns the cumulative count of dirty evictions — EWBs that
+// sealed page content, as opposed to dropping a clean page.
+func (m *Manager) Writebacks() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writebacks
+}
+
+// SetTelemetry attaches fault (ELDU), eviction (EWB), and writeback
+// (dirty EWB) counters from the registry.  A nil registry detaches.
 func (m *Manager) SetTelemetry(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.faultCtr = reg.Counter(telemetry.MetricEPCFaults)
 	m.evictCtr = reg.Counter(telemetry.MetricEPCEvictions)
+	m.writebackCtr = reg.Counter(telemetry.MetricEPCWritebacks)
 	m.residentGge = reg.Gauge(telemetry.MetricEPCResident)
 	m.residentGge.Set(int64(len(m.resident)))
 }
 
-// Touch records an access to a page and returns the paging cost in cycles:
-// zero when resident, FaultCost (plus this fault's share of any needed
-// eviction work) when the page must be brought in.
+// SetObserver attaches (or with nil detaches) the paging observer.
+// sampleBits sets the touch-sampling rate to 1-in-2^sampleBits by page
+// hash (0 samples every touch); fault and evict events are always
+// delivered exactly.  Attach before the first touch so the observer's
+// per-owner residency accounting starts from an empty EPC.
+func (m *Manager) SetObserver(obs Observer, sampleBits uint) {
+	if sampleBits > 63 {
+		sampleBits = 63
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obs = obs
+	m.sampleShift = 64 - sampleBits
+}
+
+// FlushObserver publishes the observer's accumulated state (Observer.
+// Flush under the manager's lock).  Snapshot readers call it to get a
+// consistent view without racing the paging path.
+func (m *Manager) FlushObserver() {
+	m.mu.Lock()
+	if m.obs != nil {
+		m.obs.Flush(m.touches)
+	}
+	m.mu.Unlock()
+}
+
+// Touch records an access by the anonymous owner 0 — the single-enclave
+// legacy path.  See TouchAs.
 func (m *Manager) Touch(page uint64) (fault bool, cycles float64) {
+	return m.TouchAs(0, page)
+}
+
+// TouchAs records an access to a page by the given owner and returns the
+// paging cost in cycles: zero when resident, FaultCost (plus this fault's
+// share of any needed eviction work) when the page must be brought in.
+// A faulting page is stamped with the toucher's owner ID; a resident
+// page keeps its installer's.
+func (m *Manager) TouchAs(owner OwnerID, page uint64) (fault bool, cycles float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.touchLocked(owner, page)
+}
+
+func (m *Manager) touchLocked(owner OwnerID, page uint64) (fault bool, cycles float64) {
 	m.touches++
+	if m.obs != nil && (page*hashMul)>>m.sampleShift == 0 {
+		m.obs.ObserveTouch(owner, page, m.touches)
+	}
 	if st, ok := m.resident[page]; ok {
 		st.referenced = true
 		return false, 0
 	}
 	m.faults++
 	m.faultCtr.Inc()
+	if m.obs != nil {
+		m.obs.ObserveFault(owner, page)
+	}
 	cycles = FaultCost
 	for len(m.resident) >= m.capacity {
-		m.evictOne()
+		m.evictOne(owner)
 		cycles += EWBCost
 	}
-	m.install(page)
+	m.install(owner, page)
 	return true, cycles
 }
 
-func (m *Manager) install(page uint64) {
+func (m *Manager) install(owner OwnerID, page uint64) {
 	// The trusted version comes from the Version Array, never from the
 	// untrusted blob — that is what defeats replay of older seals.
-	st := &pageState{referenced: true, version: m.versions[page]}
+	st := &pageState{owner: owner, referenced: true, version: m.versions[page]}
 	m.resident[page] = st
 	m.clock = append(m.clock, page)
 	m.residentGge.Set(int64(len(m.resident)))
 }
 
 // evictOne runs the clock (second-chance) algorithm and swaps one victim
-// out.
-func (m *Manager) evictOne() {
+// out, attributing the eviction to the faulting culprit owner.
+func (m *Manager) evictOne(culprit OwnerID) {
 	for {
 		if len(m.clock) == 0 {
 			panic("epc: evict from empty clock")
@@ -188,7 +304,10 @@ func (m *Manager) evictOne() {
 		m.evictions++
 		m.evictCtr.Inc()
 		m.clock = append(m.clock[:m.hand], m.clock[m.hand+1:]...)
-		m.swapOut(page, st)
+		dirty := m.swapOut(page, st)
+		if m.obs != nil {
+			m.obs.ObserveEvict(culprit, st.owner, page, dirty)
+		}
 		delete(m.resident, page)
 		m.residentGge.Set(int64(len(m.resident)))
 		return
@@ -197,7 +316,9 @@ func (m *Manager) evictOne() {
 
 // swapOut seals a page's content (when the functional path holds content)
 // and bumps its version so any replay of an older blob is detectable.
-func (m *Manager) swapOut(page uint64, st *pageState) {
+// It reports whether the eviction was dirty — whether an EWB actually
+// sealed content rather than dropping a clean page.
+func (m *Manager) swapOut(page uint64, st *pageState) (dirty bool) {
 	st.version++
 	m.versions[page] = st.version
 	blob := &SealedPage{version: st.version}
@@ -209,17 +330,30 @@ func (m *Manager) swapOut(page uint64, st *pageState) {
 		binary.LittleEndian.PutUint64(aad[8:], st.version)
 		blob.payload = m.aead.Seal(nil, blob.nonce[:], data, aad[:])
 		delete(m.content, page)
+		dirty = true
+		m.writebacks++
+		m.writebackCtr.Inc()
 	}
 	m.swapped[page] = blob
+	return dirty
 }
 
-// WritePage stores plaintext content for a resident page, faulting it in if
-// needed.  It returns the paging cost incurred.
+// WritePage stores plaintext content for a resident page owned by the
+// anonymous owner 0, faulting it in if needed.  See WritePageAs.
 func (m *Manager) WritePage(page uint64, data []byte) (cycles float64, err error) {
+	return m.WritePageAs(0, page, data)
+}
+
+// WritePageAs stores plaintext content for a resident page, faulting it
+// in under the given owner if needed.  It returns the paging cost
+// incurred.
+func (m *Manager) WritePageAs(owner OwnerID, page uint64, data []byte) (cycles float64, err error) {
 	if len(data) != PageSize {
 		panic("epc: page content must be exactly PageSize bytes")
 	}
-	fault, cycles := m.Touch(page)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fault, cycles := m.touchLocked(owner, page)
 	if fault {
 		if _, err := m.swapIn(page); err != nil {
 			return cycles, err
@@ -229,10 +363,18 @@ func (m *Manager) WritePage(page uint64, data []byte) (cycles float64, err error
 	return cycles, nil
 }
 
-// ReadPage returns the plaintext content of a page, faulting it in (with
-// verification) if it was swapped out.
+// ReadPage returns the plaintext content of a page for the anonymous
+// owner 0, faulting it in (with verification) if it was swapped out.
 func (m *Manager) ReadPage(page uint64) (data []byte, cycles float64, err error) {
-	fault, cycles := m.Touch(page)
+	return m.ReadPageAs(0, page)
+}
+
+// ReadPageAs returns the plaintext content of a page, faulting it in
+// under the given owner (with verification) if it was swapped out.
+func (m *Manager) ReadPageAs(owner OwnerID, page uint64) (data []byte, cycles float64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fault, cycles := m.touchLocked(owner, page)
 	if fault {
 		if _, err := m.swapIn(page); err != nil {
 			return nil, cycles, err
@@ -267,6 +409,8 @@ func (m *Manager) swapIn(page uint64) ([]byte, error) {
 // modelling an attack on the swap region in untrusted memory.  It reports
 // whether such a blob existed.
 func (m *Manager) TamperSwapped(page uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	blob, ok := m.swapped[page]
 	if !ok || len(blob.payload) == 0 {
 		return false
@@ -278,6 +422,8 @@ func (m *Manager) TamperSwapped(page uint64) bool {
 // SwapSnapshot captures the sealed blob of a swapped-out page so a test can
 // replay it later (the rollback attack against paging).
 func (m *Manager) SwapSnapshot(page uint64) *SealedPage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	blob, ok := m.swapped[page]
 	if !ok {
 		return nil
@@ -290,7 +436,19 @@ func (m *Manager) SwapSnapshot(page uint64) *SealedPage {
 // ReplaySwapped installs an old sealed blob for a page, modelling the
 // replay attack.
 func (m *Manager) ReplaySwapped(page uint64, blob *SealedPage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	cp := *blob
 	cp.payload = append([]byte(nil), blob.payload...)
 	m.swapped[page] = &cp
+}
+
+// SampledTouch reports whether a touch of the given page passes the
+// sampling gate at the given sampleBits — exported so tests and the
+// observatory can reason about which pages the estimator sees.
+func SampledTouch(page uint64, sampleBits uint) bool {
+	if sampleBits > 63 {
+		sampleBits = 63
+	}
+	return (page*hashMul)>>(64-sampleBits) == 0
 }

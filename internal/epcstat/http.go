@@ -1,0 +1,76 @@
+package epcstat
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"hotcalls/internal/dist"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/flight"
+)
+
+// ContentTypeSVG is the Content-Type of the heatmap rendering.
+const ContentTypeSVG = "image/svg+xml; charset=utf-8"
+
+// Handler serves the observatory at /debug/epc.  ?format= selects the
+// rendering: "" or "json" → the Snapshot JSON, "text" → RenderText,
+// "svg" → the deterministic fault heatmap; anything else is a 400.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		switch format {
+		case "", "json", "text", "svg":
+		default:
+			http.Error(w, "unknown format (want json, text, or svg)", http.StatusBadRequest)
+			return
+		}
+		s := c.Snapshot()
+		switch format {
+		case "", "json":
+			w.Header().Set("Content-Type", flight.ContentTypeJSON)
+			if s == nil {
+				s = &Snapshot{Schema: SnapshotSchema}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(s)
+		case "text":
+			w.Header().Set("Content-Type", flight.ContentTypeText)
+			w.Write([]byte(s.RenderText()))
+		case "svg":
+			w.Header().Set("Content-Type", ContentTypeSVG)
+			w.Write([]byte(HeatSVG(s)))
+		}
+	})
+}
+
+// HeatSVG renders the snapshot's fault heatmap as a byte-deterministic
+// SVG line chart (one series for the total, one per owner), reusing the
+// internal/dist renderer.  Safe on a nil snapshot.
+func HeatSVG(s *Snapshot) string {
+	cfg := dist.PlotConfig{
+		Title:  "EPC fault heatmap",
+		XLabel: "address offset (MB)",
+		YLabel: "faults per bucket",
+	}
+	if s == nil || len(s.Heat) == 0 {
+		return dist.RenderLinesSVG(cfg, nil)
+	}
+	bucketMB := float64(s.PagesPerBucket) * float64(epc.PageSize) / (1 << 20)
+	series := []dist.Series{heatSeries("all", s.Heat, bucketMB)}
+	for _, o := range s.Owners {
+		if len(o.Heat) == 0 {
+			continue
+		}
+		series = append(series, heatSeries(ownerName(o.Owner, o.Label), o.Heat, bucketMB))
+	}
+	return dist.RenderLinesSVG(cfg, series)
+}
+
+func heatSeries(name string, heat []uint64, bucketMB float64) dist.Series {
+	pts := make([]dist.CDFPoint, len(heat))
+	for i, n := range heat {
+		pts[i] = dist.CDFPoint{Value: float64(i) * bucketMB, Fraction: float64(n)}
+	}
+	return dist.Series{Name: name, Points: pts}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hotcalls/internal/dist"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
@@ -44,6 +45,11 @@ type Bundle struct {
 	// across queue-wait/dispatch/execute/return, slowest first.
 	CriticalPaths []CriticalPath `json:"critical_paths,omitempty"`
 
+	// EPC is the pressure observatory's snapshot at capture time —
+	// per-owner residency/WSS/interference — when the monitor has an
+	// epcstat collector attached.
+	EPC *epcstat.Snapshot `json:"epc,omitempty"`
+
 	// Telemetry is the full registry snapshot (counters, gauges,
 	// histograms), when a registry was attached.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
@@ -80,6 +86,11 @@ func (b *Bundle) RenderText() string {
 		sb.WriteString(RenderCriticalPaths(b.CriticalPaths))
 	} else {
 		sb.WriteString("\n(no complete timelines captured)\n")
+	}
+
+	if b.EPC != nil {
+		sb.WriteString("\nepc pressure:\n")
+		sb.WriteString(b.EPC.RenderText())
 	}
 	return sb.String()
 }

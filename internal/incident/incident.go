@@ -185,6 +185,9 @@ func (c *Capturer) capture(e monitor.Event, now time.Time) *Bundle {
 		b.Outliers = f.Outliers(c.opts.MaxRecords)
 		b.CriticalPaths = Analyze(append(append([]flightView(nil), b.Outliers...), b.Records...), c.opts.MaxPaths)
 	}
+	if col := c.mon.EPCStat(); col != nil {
+		b.EPC = col.Snapshot() // flushes the paging accounting first
+	}
 	if c.opts.Registry != nil {
 		snap := c.opts.Registry.Snapshot()
 		b.Telemetry = &snap

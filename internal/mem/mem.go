@@ -12,6 +12,7 @@ package mem
 import (
 	"hotcalls/internal/cache"
 	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/mee"
 	"hotcalls/internal/sim"
 	"hotcalls/internal/telemetry"
@@ -62,6 +63,10 @@ type System struct {
 	MEE *mee.CostModel
 	EPC *epc.Manager
 	rng *sim.RNG
+
+	// owner tags every EPC touch this system charges; SetOwner lets a
+	// multi-tenant host attribute paging traffic per enclave.
+	owner epc.OwnerID
 
 	pageFaults uint64
 
@@ -116,9 +121,22 @@ func (s *System) SetTelemetry(reg *telemetry.Registry) {
 	s.MEE.SetTelemetry(reg)
 }
 
+// SetOwner sets the EPC owner ID stamped on every page this system
+// touches from now on (owner 0, the default, is the anonymous
+// single-enclave owner).
+func (s *System) SetOwner(owner epc.OwnerID) { s.owner = owner }
+
+// SetEPCStat attaches an EPC pressure observatory to the hierarchy: the
+// collector becomes the EPC manager's observer and snapshots gain the
+// MEE node-cache counters.  Call before the first enclave access.
+func (s *System) SetEPCStat(c *epcstat.Collector) {
+	c.Attach(s.EPC)
+	c.SetMEEStats(s.MEE.NodeCacheStats)
+}
+
 // touchPage charges EPC paging cost for an enclave access.
 func (s *System) touchPage(clk *sim.Clock, addr uint64) {
-	fault, cycles := s.EPC.Touch(page(addr))
+	fault, cycles := s.EPC.TouchAs(s.owner, page(addr))
 	if fault {
 		s.pageFaults++
 		if s.tracer != nil {

@@ -2,21 +2,41 @@ package monitor
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
 
-// HealthHandler serves the aggregate health verdict as JSON on
-// /debug/health: {"status": "ok" | "degraded" | "critical", ...} with
-// the active alerts and the newest sample.  A critical status is served
-// with 503 so load-balancer probes can act on it without parsing the
-// body; ok and degraded serve 200.
+// HealthHandler serves the aggregate health verdict on /debug/health:
+// {"status": "ok" | "degraded" | "critical", ...} with the active alerts
+// and the newest sample by default (or with ?format=json), a one-line
+// status with ?format=text, 400 on anything else — the same format
+// contract as /debug/flight.  A critical status is served with 503 so
+// load-balancer probes can act on it without parsing the body; ok and
+// degraded serve 200.
 func HealthHandler(m *Monitor) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		format := req.URL.Query().Get("format")
+		switch format {
+		case "", "json", "text":
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
+			return
+		}
 		h := m.Health()
+		if format == "text" {
+			w.Header().Set("Content-Type", flight.ContentTypeText)
+			if h.Status == "critical" {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			fmt.Fprintf(w, "%s (%d samples, %d active alerts)\n",
+				h.Status, h.Samples, len(h.Alerts))
+			return
+		}
 		w.Header().Set("Content-Type", flight.ContentTypeJSON)
 		if h.Status == "critical" {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -61,8 +81,8 @@ func Handler(m *Monitor) http.Handler {
 
 // Mux bundles the full observability surface of a monitored server:
 // /metrics (Prometheus exposition), /debug/health, /debug/monitor, and
-// — when a flight recorder is attached (Options.Flight) —
-// /debug/flight.
+// — when the corresponding collector is attached — /debug/flight
+// (Options.Flight) and /debug/epc (Options.EPC).
 func Mux(reg *telemetry.Registry, m *Monitor) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", telemetry.Handler(reg))
@@ -70,6 +90,9 @@ func Mux(reg *telemetry.Registry, m *Monitor) *http.ServeMux {
 	mux.Handle("/debug/monitor", Handler(m))
 	if f := m.Flight(); f != nil {
 		mux.Handle("/debug/flight", flight.Handler(f))
+	}
+	if c := m.EPCStat(); c != nil {
+		mux.Handle("/debug/epc", epcstat.Handler(c))
 	}
 	return mux
 }

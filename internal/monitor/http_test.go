@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
@@ -115,6 +116,57 @@ func TestMonitorHandlerContentTypes(t *testing.T) {
 	}
 }
 
+// TestHealthHandlerContentTypes holds /debug/health to the same contract
+// as /debug/monitor and /debug/epc: explicit Content-Type per format,
+// format validated before any work, 400 on unknown values — and the
+// 503-on-critical semantics preserved across both renderings.
+func TestHealthHandlerContentTypes(t *testing.T) {
+	reg := telemetry.New()
+	m := New(reg, Options{})
+	m.Tick()
+	h := HealthHandler(m)
+
+	cases := []struct {
+		query    string
+		code     int
+		ct       string
+		contains string
+	}{
+		{"", 200, flight.ContentTypeJSON, `"status": "ok"`},
+		{"?format=json", 200, flight.ContentTypeJSON, `"status": "ok"`},
+		{"?format=text", 200, flight.ContentTypeText, "ok (1 samples, 0 active alerts)"},
+		{"?format=csv", 400, "", "unknown format"},
+		{"?format=TEXT", 400, "", "unknown format"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health"+c.query, nil))
+		if rec.Code != c.code {
+			t.Errorf("%q: status = %d, want %d", c.query, rec.Code, c.code)
+			continue
+		}
+		if c.ct != "" && rec.Header().Get("Content-Type") != c.ct {
+			t.Errorf("%q: content-type = %q, want %q", c.query, rec.Header().Get("Content-Type"), c.ct)
+		}
+		if !strings.Contains(rec.Body.String(), c.contains) {
+			t.Errorf("%q: body missing %q:\n%s", c.query, c.contains, rec.Body.String())
+		}
+	}
+
+	// Critical health serves 503 in both renderings.
+	bump(reg, telemetry.MetricHotCallRequests, 100)
+	bump(reg, telemetry.MetricHotCallTimeouts, 90)
+	bump(reg, telemetry.MetricHotCallFallbacks, 90)
+	m.Tick()
+	for _, query := range []string{"", "?format=text"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health"+query, nil))
+		if rec.Code != 503 {
+			t.Errorf("critical %q: status = %d, want 503", query, rec.Code)
+		}
+	}
+}
+
 func TestMux(t *testing.T) {
 	reg := telemetry.New()
 	reg.Counter(telemetry.MetricHotCallRequests).Add(7)
@@ -131,5 +183,18 @@ func TestMux(t *testing.T) {
 		if rec.Code != 200 || !strings.Contains(rec.Body.String(), want) {
 			t.Fatalf("%s: %d %q", path, rec.Code, rec.Body.String())
 		}
+	}
+
+	// /debug/epc mounts only when an observatory is attached.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/epc", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/debug/epc without a collector: %d, want 404", rec.Code)
+	}
+	withEPC := New(reg, Options{EPC: epcstat.New(epcstat.Options{})})
+	rec = httptest.NewRecorder()
+	Mux(reg, withEPC).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/epc", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), epcstat.SnapshotSchema) {
+		t.Fatalf("/debug/epc with a collector: %d %q", rec.Code, rec.Body.String())
 	}
 }

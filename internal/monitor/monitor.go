@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hotcalls/internal/dist"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
@@ -42,6 +43,13 @@ type Options struct {
 	// /debug/flight, and — when Rules is nil — the callsite-scoped
 	// storm and spin-waste rules join the default rule set.
 	Flight *flight.Recorder
+
+	// EPC, when set, attaches the EPC pressure observatory: every
+	// sample carries its snapshot (flushed once per tick), RenderText
+	// grows a per-owner section, Mux serves /debug/epc, and — when
+	// Rules is nil — the oversubscription early-warning and
+	// victim-interference rules join the default rule set.
+	EPC *epcstat.Collector
 
 	// HealthWindow is how many trailing samples an event stays "active"
 	// for in Health().  Default 12.
@@ -82,6 +90,9 @@ func (o *Options) fill() {
 		if o.Flight != nil {
 			o.Rules = append(o.Rules, FlightRules(DefaultThresholds())...)
 		}
+		if o.EPC != nil {
+			o.Rules = append(o.Rules, EPCRules(DefaultThresholds())...)
+		}
 	}
 }
 
@@ -116,11 +127,15 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 	sampler := NewSampler(reg)
 	sampler.SetDistribution(opts.LatencyDist)
 	sampler.SetFlight(opts.Flight)
+	sampler.SetEPC(opts.EPC)
 	return &Monitor{sampler: sampler, opts: opts}
 }
 
 // Flight returns the attached flight recorder, or nil.
 func (m *Monitor) Flight() *flight.Recorder { return m.opts.Flight }
+
+// EPCStat returns the attached EPC pressure observatory, or nil.
+func (m *Monitor) EPCStat() *epcstat.Collector { return m.opts.EPC }
 
 // SetOnEvent attaches (or replaces, or with nil detaches) the event
 // callback after construction — internal/incident uses this to wire a

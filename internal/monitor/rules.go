@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 )
 
@@ -80,6 +82,16 @@ type Thresholds struct {
 	EPCWarnEvictions uint64 // interval evictions → Warning
 	EPCCritEvictions uint64 // → Critical
 
+	// EPC oversubscription early warning (epcstat collector attached).
+	EPCOversubWarnFrac float64 // summed WSS / capacity → Warning
+	EPCOversubCritFrac float64 // → Critical
+	EPCOversubMinPages uint64  // ignore estimates below this WSS
+
+	// EPC victim interference (epcstat collector attached).
+	EPCInterfMinEvicts   uint64  // ignore intervals with fewer total evictions
+	EPCInterfVictimShare float64 // owner's share of interval evictions
+	EPCInterfCauseRatio  float64 // fraction of its evictions caused by others
+
 	// Responder-pool saturation (the adaptive fabric's ceiling).
 	PoolSatOccupancy float64 // window occupancy at max responders → Warning
 
@@ -115,6 +127,14 @@ func DefaultThresholds() Thresholds {
 		EPCWarnEvictions: 256,
 		EPCCritEvictions: 4096,
 
+		EPCOversubWarnFrac: 0.85,
+		EPCOversubCritFrac: 1.0,
+		EPCOversubMinPages: 64,
+
+		EPCInterfMinEvicts:   64,
+		EPCInterfVictimShare: 0.5,
+		EPCInterfCauseRatio:  0.75,
+
 		PoolSatOccupancy: 0.5, // the controller's default scale-up watermark
 
 		CallsiteMinCalls:     10,
@@ -131,6 +151,18 @@ func DefaultRules(t Thresholds) []Rule {
 		&LatencySLORule{T: t},
 		&EPCThrashRule{T: t},
 		&PoolSaturationRule{T: t},
+	}
+}
+
+// EPCRules returns the EPC-scoped rule set — the oversubscription early
+// warning and the victim-interference attribution rule, both reading the
+// epcstat snapshot that Options.EPC embeds in every sample.  They are
+// appended to DefaultRules automatically when a collector is attached
+// and Options.Rules is nil.
+func EPCRules(t Thresholds) []Rule {
+	return []Rule{
+		&EPCOversubscriptionRule{T: t},
+		&EPCVictimInterferenceRule{T: t},
 	}
 }
 
@@ -396,6 +428,141 @@ func (r *EPCThrashRule) Evaluate(window []Sample) []Event {
 				"sealing — shrink the secure heap or shard the workload across enclaves",
 			s.DEPCEvicts, s.DEPCFaults, s.EPCResident),
 	}}
+}
+
+// prevEPC returns the previous sample's EPC snapshot, or nil when the
+// window has no previous sample (or no collector was attached then).
+func prevEPC(window []Sample) *epcstat.Snapshot {
+	if len(window) < 2 {
+		return nil
+	}
+	return window[len(window)-2].EPC
+}
+
+// epcOwnerName formats an owner for diagnoses: the label when one was
+// registered, the raw ID otherwise.
+func epcOwnerName(owner epc.OwnerID, label string) string {
+	if label != "" {
+		return fmt.Sprintf("%s(#%d)", label, owner)
+	}
+	return fmt.Sprintf("#%d", owner)
+}
+
+// EPCOversubscriptionRule is the early warning EPCThrashRule cannot give:
+// thrash fires on the eviction storm already in progress, while this rule
+// compares the observatory's summed per-owner working-set estimates
+// against EPC capacity and fires while the working set is still *growing
+// toward* the cliff — pages are being faulted in but nothing is being
+// evicted yet, so there is still time to shed load or shrink heaps
+// before every access starts paying EWB+ELDU.  Fires on the newest
+// sample's snapshot (WSS is an at-time estimate, not an interval delta).
+type EPCOversubscriptionRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *EPCOversubscriptionRule) Name() string { return "epc-oversubscription" }
+
+// Evaluate implements Rule.
+func (r *EPCOversubscriptionRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || s.EPC == nil || s.EPC.CapacityPages == 0 {
+		return nil
+	}
+	wss := s.EPC.WSSPages
+	if wss < r.T.EPCOversubMinPages {
+		return nil
+	}
+	frac := float64(wss) / float64(s.EPC.CapacityPages)
+	if frac < r.T.EPCOversubWarnFrac {
+		return nil
+	}
+	sev, threshold := Warning, r.T.EPCOversubWarnFrac
+	if frac >= r.T.EPCOversubCritFrac {
+		sev, threshold = Critical, r.T.EPCOversubCritFrac
+	}
+	top := ""
+	var topWSS uint64
+	for _, o := range s.EPC.Owners {
+		if o.WSSPages > topWSS {
+			topWSS = o.WSSPages
+			top = epcOwnerName(o.Owner, o.Label)
+		}
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: frac, Threshold: threshold,
+		Diagnosis: fmt.Sprintf(
+			"EPC oversubscription imminent: summed working-set estimate %d pages is %.0f%% of the "+
+				"%d-page EPC (largest owner %s at ~%d pages); once the working set crosses capacity "+
+				"every access degrades to a ~%d-cycle fault — shed tenants, shrink secure heaps, or "+
+				"shard across enclaves *now*, before the eviction storm",
+			wss, frac*100, s.EPC.CapacityPages, top, topWSS, epc.FaultCost+epc.EWBCost),
+	}}
+}
+
+// EPCVictimInterferenceRule attributes paging pain: an owner whose pages
+// dominate the interval's evictions, mostly forced out by *other*
+// owners' faults, is being starved of EPC residency by its neighbours —
+// the noisy-neighbour signal the ROADMAP's EPC-aware placement policy
+// needs.  It diffs consecutive samples' interference matrices, so it
+// fires only with an epcstat collector attached (Options.EPC).
+type EPCVictimInterferenceRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *EPCVictimInterferenceRule) Name() string { return "epc-victim-interference" }
+
+// Evaluate implements Rule.
+func (r *EPCVictimInterferenceRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || s.EPC == nil {
+		return nil
+	}
+	d := s.EPC.Sub(prevEPC(window))
+	if d.Evictions < r.T.EPCInterfMinEvicts {
+		return nil
+	}
+	// Interval evictions of each victim forced by other owners' faults,
+	// and the single worst culprit per victim for the diagnosis.
+	labels := map[epc.OwnerID]string{}
+	for _, o := range d.Owners {
+		labels[o.Owner] = o.Label
+	}
+	byOthers := map[epc.OwnerID]uint64{}
+	topCulprit := map[epc.OwnerID]epc.OwnerID{}
+	topCount := map[epc.OwnerID]uint64{}
+	for _, cell := range d.Interference {
+		if cell.Culprit == cell.Victim {
+			continue
+		}
+		byOthers[cell.Victim] += cell.Evictions
+		if cell.Evictions > topCount[cell.Victim] {
+			topCount[cell.Victim] = cell.Evictions
+			topCulprit[cell.Victim] = cell.Culprit
+		}
+	}
+	var events []Event
+	for _, o := range d.Owners {
+		if o.Evictions == 0 {
+			continue
+		}
+		share := float64(o.Evictions) / float64(d.Evictions)
+		caused := float64(byOthers[o.Owner]) / float64(o.Evictions)
+		if share < r.T.EPCInterfVictimShare || caused < r.T.EPCInterfCauseRatio {
+			continue
+		}
+		culprit := topCulprit[o.Owner]
+		events = append(events, Event{
+			Rule: r.Name(), Severity: Warning, Seq: s.Seq, At: s.When,
+			Value: caused, Threshold: r.T.EPCInterfCauseRatio,
+			Diagnosis: fmt.Sprintf(
+				"owner %s is the EPC victim: %d of the interval's %d evictions hit its pages "+
+					"(%.0f%% share) and %.0f%% of those were forced by other owners' faults, "+
+					"chiefly %s (%d evictions) — a noisy neighbour is evicting its working set; "+
+					"throttle the culprit or reserve residency for the victim",
+				epcOwnerName(o.Owner, o.Label), o.Evictions, d.Evictions,
+				share*100, caused*100, epcOwnerName(culprit, labels[culprit]), topCount[o.Owner]),
+		})
+	}
+	return events
 }
 
 // prevCallsites indexes the previous sample's callsite rows by ID so

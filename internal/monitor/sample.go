@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hotcalls/internal/dist"
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
 )
@@ -31,21 +32,22 @@ type Sample struct {
 	When time.Time `json:"when"`
 
 	// Cumulative readings.
-	Requests     uint64 `json:"requests"`
-	Timeouts     uint64 `json:"timeouts"`
-	Fallbacks    uint64 `json:"fallbacks"`
-	HotECalls    uint64 `json:"hot_ecalls"`
-	HotOCalls    uint64 `json:"hot_ocalls"`
-	Ecalls       uint64 `json:"ecalls"`
-	Ocalls       uint64 `json:"ocalls"`
-	Polls        uint64 `json:"responder_polls"`
-	Executes     uint64 `json:"responder_executes"`
-	Sleeps       uint64 `json:"responder_sleeps"`
-	SpinCycles   uint64 `json:"spin_cycles"`
-	EPCFaults    uint64 `json:"epc_faults"`
-	EPCEvictions uint64 `json:"epc_evictions"`
-	MEEHits      uint64 `json:"mee_hits"`
-	MEEMisses    uint64 `json:"mee_misses"`
+	Requests      uint64 `json:"requests"`
+	Timeouts      uint64 `json:"timeouts"`
+	Fallbacks     uint64 `json:"fallbacks"`
+	HotECalls     uint64 `json:"hot_ecalls"`
+	HotOCalls     uint64 `json:"hot_ocalls"`
+	Ecalls        uint64 `json:"ecalls"`
+	Ocalls        uint64 `json:"ocalls"`
+	Polls         uint64 `json:"responder_polls"`
+	Executes      uint64 `json:"responder_executes"`
+	Sleeps        uint64 `json:"responder_sleeps"`
+	SpinCycles    uint64 `json:"spin_cycles"`
+	EPCFaults     uint64 `json:"epc_faults"`
+	EPCEvictions  uint64 `json:"epc_evictions"`
+	EPCWritebacks uint64 `json:"epc_writebacks"`
+	MEEHits       uint64 `json:"mee_hits"`
+	MEEMisses     uint64 `json:"mee_misses"`
 
 	// Point-in-time gauges.
 	PendingDepth int64 `json:"pending_depth"`
@@ -67,6 +69,7 @@ type Sample struct {
 	DSpinCycles  uint64 `json:"d_spin_cycles"`
 	DEPCFaults   uint64 `json:"d_epc_faults"`
 	DEPCEvicts   uint64 `json:"d_epc_evictions"`
+	DEPCWrbacks  uint64 `json:"d_epc_writebacks"`
 	DScaleUps    uint64 `json:"d_pool_scale_ups"`
 	DScaleDowns  uint64 `json:"d_pool_scale_downs"`
 
@@ -94,6 +97,12 @@ type Sample struct {
 	// fields above; the callsite-scoped rules diff consecutive samples'
 	// rows.  Nil when no recorder is attached.
 	Callsites []flight.CallsiteStats `json:"callsites,omitempty"`
+
+	// EPC is the pressure observatory's snapshot at sampling time
+	// (Options.EPC), cumulative like the counter fields; the EPC-scoped
+	// rules diff consecutive samples' snapshots via Snapshot.Sub.  Nil
+	// when no collector is attached.
+	EPC *epcstat.Snapshot `json:"epc,omitempty"`
 }
 
 // Sampler turns successive registry snapshots into interval Samples.
@@ -108,6 +117,8 @@ type Sampler struct {
 	prevDist dist.Snapshot
 
 	flight *flight.Recorder
+
+	epcCol *epcstat.Collector
 }
 
 // NewSampler returns a sampler over the registry.  A nil registry is
@@ -125,6 +136,12 @@ func (sa *Sampler) SetDistribution(r *dist.Recorder) { sa.rec = r }
 // place per tick that digests the recorder's rings, so every rule and
 // render sees one consistent table per interval.
 func (sa *Sampler) SetFlight(f *flight.Recorder) { sa.flight = f }
+
+// SetEPC attaches (or, with nil, detaches) the EPC pressure observatory
+// whose snapshot each sample carries.  Sampling is the one place per
+// tick that flushes the collector, so every rule and render sees one
+// consistent snapshot per interval.
+func (sa *Sampler) SetEPC(c *epcstat.Collector) { sa.epcCol = c }
 
 // sub clamps counter deltas at zero so a registry swap or reset degrades
 // to an empty interval instead of wrapping.
@@ -151,21 +168,22 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 		Seq:  sa.seq,
 		When: now,
 
-		Requests:     c[telemetry.MetricHotCallRequests],
-		Timeouts:     c[telemetry.MetricHotCallTimeouts],
-		Fallbacks:    c[telemetry.MetricHotCallFallbacks],
-		HotECalls:    c[telemetry.MetricHotECalls],
-		HotOCalls:    c[telemetry.MetricHotOCalls],
-		Ecalls:       c[telemetry.MetricEcalls],
-		Ocalls:       c[telemetry.MetricOcalls],
-		Polls:        c[telemetry.MetricResponderPolls],
-		Executes:     c[telemetry.MetricResponderExecutes],
-		Sleeps:       c[telemetry.MetricResponderSleeps],
-		SpinCycles:   c[telemetry.MetricSpinCycles],
-		EPCFaults:    c[telemetry.MetricEPCFaults],
-		EPCEvictions: c[telemetry.MetricEPCEvictions],
-		MEEHits:      c[telemetry.MetricMEENodeHits],
-		MEEMisses:    c[telemetry.MetricMEENodeMiss],
+		Requests:      c[telemetry.MetricHotCallRequests],
+		Timeouts:      c[telemetry.MetricHotCallTimeouts],
+		Fallbacks:     c[telemetry.MetricHotCallFallbacks],
+		HotECalls:     c[telemetry.MetricHotECalls],
+		HotOCalls:     c[telemetry.MetricHotOCalls],
+		Ecalls:        c[telemetry.MetricEcalls],
+		Ocalls:        c[telemetry.MetricOcalls],
+		Polls:         c[telemetry.MetricResponderPolls],
+		Executes:      c[telemetry.MetricResponderExecutes],
+		Sleeps:        c[telemetry.MetricResponderSleeps],
+		SpinCycles:    c[telemetry.MetricSpinCycles],
+		EPCFaults:     c[telemetry.MetricEPCFaults],
+		EPCEvictions:  c[telemetry.MetricEPCEvictions],
+		EPCWritebacks: c[telemetry.MetricEPCWritebacks],
+		MEEHits:       c[telemetry.MetricMEENodeHits],
+		MEEMisses:     c[telemetry.MetricMEENodeMiss],
 
 		PendingDepth: snap.Gauges[telemetry.MetricPendingDepth],
 		EPCResident:  snap.Gauges[telemetry.MetricEPCResident],
@@ -178,6 +196,9 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	}
 	if sa.flight != nil {
 		s.Callsites = sa.flight.Stats() // digests pending records
+	}
+	if sa.epcCol != nil {
+		s.EPC = sa.epcCol.Snapshot() // flushes the live accounting
 	}
 	sa.seq++
 	if !sa.hasPrev {
@@ -204,6 +225,7 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	s.DSpinCycles = sub(s.SpinCycles, p[telemetry.MetricSpinCycles])
 	s.DEPCFaults = sub(s.EPCFaults, p[telemetry.MetricEPCFaults])
 	s.DEPCEvicts = sub(s.EPCEvictions, p[telemetry.MetricEPCEvictions])
+	s.DEPCWrbacks = sub(s.EPCWritebacks, p[telemetry.MetricEPCWritebacks])
 	s.DScaleUps = sub(s.ScaleUps, p[telemetry.MetricPoolScaleUps])
 	s.DScaleDowns = sub(s.ScaleDowns, p[telemetry.MetricPoolScaleDowns])
 

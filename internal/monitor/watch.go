@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 )
 
@@ -53,6 +54,9 @@ func (m *Monitor) RenderText(n int) string {
 	if h.Last != nil && len(h.Last.Callsites) > 0 {
 		renderCallsites(&b, h.Last.Callsites)
 	}
+	if h.Last != nil && h.Last.EPC != nil && len(h.Last.EPC.Owners) > 0 {
+		renderEPCOwners(&b, h.Last.EPC)
+	}
 	if len(h.Alerts) > 0 {
 		b.WriteString("alerts:\n")
 		for _, e := range h.Alerts {
@@ -60,6 +64,21 @@ func (m *Monitor) RenderText(n int) string {
 		}
 	}
 	return b.String()
+}
+
+// renderEPCOwners renders the per-owner EPC section from the newest
+// sample's observatory snapshot — the same consistent view the
+// EPC-scoped rules evaluated, not a fresh flush.
+func renderEPCOwners(b *strings.Builder, s *epcstat.Snapshot) {
+	fmt.Fprintf(b, "epc owners (%d/%d pages resident, wss≈%d):\n",
+		s.ResidentPages, s.CapacityPages, s.WSSPages)
+	fmt.Fprintf(b, "  %-16s %9s %9s %9s %9s %9s\n",
+		"owner", "resident", "wss", "faults", "evicted", "caused")
+	for _, o := range s.Owners {
+		fmt.Fprintf(b, "  %-16s %9d %9d %9d %9d %9d\n",
+			epcOwnerName(o.Owner, o.Label), o.ResidentPages, o.WSSPages,
+			o.Faults, o.Evictions, o.EvictionsCaused)
+	}
 }
 
 // renderCallsites renders the per-callsite section from the newest

@@ -78,6 +78,19 @@ func DefaultPolicy() Policy {
 			// improvement.
 			{Pattern: "incident/*", ForceDirection: true, Direction: HigherBetter},
 			{Pattern: "flight/*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
+			// The EPC observer pair shares the flight pair's design
+			// (same-run interleaved touch-rate ratio, expected ~0.96x at
+			// production 1-in-32 sampling on the raw resident-touch path);
+			// the band catches the observer growing an always-on cost —
+			// an allocation or extra map walk on the unsampled path.
+			{Pattern: "epc/observer-*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
+			// The rest of the epc experiment gates the oversubscription
+			// cliff against its closed-form model: measured/model ratios
+			// are exactly 1.00x by construction (deterministic simulated
+			// cycles), and the WSS cross-checks are deterministic hash
+			// counts, so any drift in either direction is a real break in
+			// the paging model or the estimator.
+			{Pattern: "epc/*", ForceDirection: true, Direction: TwoSided, TolerancePct: 5},
 			// The fabric scaling curve is real wall-clock on shared CI
 			// hosts, not simulated cycles.  Its values are same-run
 			// speedup ratios (higher-better "x"), which cancels host
