@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo epc-demo
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo epc-demo whatif-demo
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -20,7 +20,7 @@ test:
 # the fabric-routed memcached/lighttpd ports are the packages with real
 # cross-goroutine traffic; run them under the race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/epc/... ./internal/epcstat/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/epc/... ./internal/epcstat/... ./internal/whatif/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -97,6 +97,15 @@ incident-demo:
 # /debug/epc?format=svg view) to epc-heatmap.svg (CI uploads it).
 epc-demo:
 	$(GO) run ./cmd/hotbench -epc-sweep -epc-svg epc-heatmap.svg
+
+# whatif-demo runs the causal what-if profiler validation (predicted vs
+# applied virtual speedups per cost component), the shadow-router
+# ordering-agreement sweep, the misroute-detection demo, and the
+# estimator overhead pair; the full report artifact (the /debug/whatif
+# JSON body) lands in whatif.json (CI uploads it).  The same values gate
+# under the whatif/* band of bench-regress.
+whatif-demo:
+	$(GO) run ./cmd/hotbench -whatif -whatif-json whatif.json
 
 # profile runs the microbenchmarks under deep tracing and emits folded
 # flame-graph stacks plus a pprof protobuf.

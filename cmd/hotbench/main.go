@@ -22,6 +22,7 @@
 //	hotbench -run scaling -flight-trace f.json # causal window as Chrome trace
 //	hotbench -run incident -incident-dir incidents # postmortem-bundle demo, spooled to disk
 //	hotbench -epc-sweep -epc-svg epc-heatmap.svg # EPC oversubscription cliff + fault heatmap
+//	hotbench -whatif -whatif-json whatif.json # causal profiler validation + shadow-routing regret
 package main
 
 import (
@@ -65,6 +66,8 @@ func main() {
 	incidentDir := flag.String("incident-dir", "", "spool incident bundles captured by the experiments (see -run incident) to this directory as <bundle-id>.json")
 	epcSweep := flag.Bool("epc-sweep", false, "shorthand for -run epc: the EPC oversubscription cliff and observer-overhead pair")
 	epcSVG := flag.String("epc-svg", "", "write the epc experiment's oversubscribed fault-heatmap SVG (the /debug/epc?format=svg view) to this path")
+	whatIfFlag := flag.Bool("whatif", false, "shorthand for -run whatif: causal profiler validation, shadow-routing agreement, and the estimator overhead pair")
+	whatIfJSON := flag.String("whatif-json", "", "write the whatif experiment's report artifact (the /debug/whatif JSON body) to this path")
 	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
 
@@ -77,6 +80,13 @@ func main() {
 	}
 	if *epcSweep {
 		*run = "epc"
+	}
+	if *whatIfJSON != "" {
+		bench.SetWhatIfJSON(*whatIfJSON)
+		*whatIfFlag = true
+	}
+	if *whatIfFlag {
+		*run = "whatif"
 	}
 
 	if *watch {

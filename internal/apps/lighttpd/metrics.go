@@ -76,9 +76,10 @@ func (s *Server) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 }
 
 // DebugMux serves the full observability surface on the app port:
-// /metrics (Prometheus exposition), /debug/health (JSON verdict, 503
-// when critical), and /debug/monitor (recent samples + alerts).  It
-// enables the monitor with defaults if EnableMonitor was not called.
-func (s *Server) DebugMux() *http.ServeMux {
+// /metrics (Prometheus exposition), a /debug/ index, /debug/health
+// (JSON verdict, 503 when critical), and /debug/monitor (recent
+// samples + alerts).  It enables the monitor with defaults if
+// EnableMonitor was not called.
+func (s *Server) DebugMux() *monitor.DebugMux {
 	return monitor.Mux(s.App.Tel, s.EnableMonitor(monitor.Options{}))
 }

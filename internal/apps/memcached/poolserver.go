@@ -12,7 +12,6 @@ package memcached
 
 import (
 	"fmt"
-	"net/http"
 	"sync"
 
 	"hotcalls/internal/core"
@@ -22,6 +21,7 @@ import (
 	"hotcalls/internal/incident"
 	"hotcalls/internal/monitor"
 	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
 )
 
 // opServe is the single fabric call table entry: serve one encoded
@@ -111,9 +111,10 @@ type PoolServer struct {
 	store *poolStore
 	conns []*PoolConn
 
-	reg *telemetry.Registry
-	mon *monitor.Monitor
-	cap *incident.Capturer
+	reg    *telemetry.Registry
+	mon    *monitor.Monitor
+	cap    *incident.Capturer
+	whatIf *whatif.Observatory
 
 	// EPC paging model (EnableEPC): every served request touches the
 	// pages its key/value footprint occupies, owner-tagged by
@@ -243,10 +244,34 @@ func (s *PoolServer) touchEPC(requester int, key string, valueLen int) {
 	}
 }
 
+// EnableWhatIf attaches the causal what-if observatory: the shadow
+// router scores every monitor interval's per-callsite traffic against
+// the three routing policies (the fabric's operations are declared
+// pooled — that is how PoolServer actually routes), /debug/whatif
+// serves the report, and the routing-regret monitor rule flags
+// callsites whose traffic outgrew the static choice.  A zero params
+// selects whatif.DefaultCostParams.  Call after SetFlight and before
+// EnableMonitor/DebugMux; idempotent.
+func (s *PoolServer) EnableWhatIf(params whatif.CostParams) *whatif.Observatory {
+	if s.whatIf == nil {
+		s.whatIf = whatif.NewObservatory(params)
+		r := s.whatIf.Router()
+		r.DeclareDefault(whatif.PolicyPooled)
+		r.Declare("mc.get", whatif.PolicyPooled)
+		r.Declare("mc.set", whatif.PolicyPooled)
+		r.Declare("mc.delete", whatif.PolicyPooled)
+	}
+	return s.whatIf
+}
+
+// WhatIf exposes the what-if observatory (nil until EnableWhatIf).
+func (s *PoolServer) WhatIf() *whatif.Observatory { return s.whatIf }
+
 // EnableMonitor attaches a health monitor over the fabric's registry,
 // with the flight recorder (when attached) feeding the callsite-scoped
-// rules and the EPC observatory (when enabled) feeding the EPC rules.
-// Idempotent: repeat calls return the same monitor.
+// rules, the EPC observatory (when enabled) feeding the EPC rules, and
+// the what-if observatory (when enabled) feeding the routing-regret
+// rule.  Idempotent: repeat calls return the same monitor.
 func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 	if s.mon == nil {
 		if opts.Flight == nil {
@@ -254,6 +279,9 @@ func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
 		}
 		if opts.EPC == nil {
 			opts.EPC = s.epcStat
+		}
+		if opts.WhatIf == nil {
+			opts.WhatIf = s.whatIf
 		}
 		s.mon = monitor.New(s.reg, opts)
 	}
@@ -277,12 +305,14 @@ func (s *PoolServer) EnableIncidents(opts incident.Options) *incident.Capturer {
 	return s.cap
 }
 
-// DebugMux serves the fabric's observability surface: /metrics,
-// /debug/health, /debug/monitor, /debug/incidents, and — when
-// SetFlight was called — /debug/flight.
-func (s *PoolServer) DebugMux() *http.ServeMux {
+// DebugMux serves the fabric's observability surface: /metrics, a
+// /debug/ index listing every endpoint, /debug/health, /debug/monitor,
+// /debug/incidents, and — per enabled collector — /debug/flight,
+// /debug/epc, and /debug/whatif.
+func (s *PoolServer) DebugMux() *monitor.DebugMux {
 	mux := monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
-	mux.Handle("/debug/incidents", incident.Handler(s.EnableIncidents(incident.Options{})))
+	mux.HandleEntry("/debug/incidents", "frozen postmortem bundles (rule transitions)",
+		incident.Handler(s.EnableIncidents(incident.Options{})))
 	return mux
 }
 

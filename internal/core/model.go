@@ -50,6 +50,21 @@ func (m *LatencyModel) Mean() float64 {
 	return m.Fixed + m.LoopPeriod + retry + m.TailProb*(m.TailBase+m.TailMean)
 }
 
+// Scale returns a copy of the model with every cycle-valued parameter
+// multiplied by f, probabilities untouched, sharing the receiver's RNG
+// stream.  Mean and Sample scale by exactly f, which is what makes the
+// model usable as the "actually applied" arm of a what-if causal
+// validation: predict a virtual speedup from a recorded workload, then
+// re-run the workload on a Scale(1-delta) model and compare.
+func (m *LatencyModel) Scale(f float64) *LatencyModel {
+	s := *m
+	s.Fixed *= f
+	s.LoopPeriod *= f
+	s.TailBase *= f
+	s.TailMean *= f
+	return &s
+}
+
 // Sample draws one HotCall round-trip latency in cycles.
 func (m *LatencyModel) Sample() float64 {
 	lat := m.Fixed +

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"testing"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/flight"
+	"hotcalls/internal/whatif"
+)
+
+// TestPoolCallWhatIfZeroAlloc extends the fabric's zero-alloc
+// assertions to the shadow-routing observatory: with the what-if
+// observatory armed over the flight recorder and Observe running
+// between batches, the (recorder-on) call path must stay at zero
+// allocations.  The observatory never touches the call path — it only
+// reads the digested stats table, so arming it adds no stores, no
+// shared state, and therefore no LOCK-prefixed synchronization to the
+// unsampled producer-private counters the fabric call rides on.
+// (External test package: whatif imports core for its cost model, so
+// this pairing can only be exercised from outside.)
+func TestPoolCallWhatIfZeroAlloc(t *testing.T) {
+	p := core.NewCallPool([]core.PoolFunc{func(_ int, d uint64) uint64 { return d }},
+		core.PoolOptions{Shards: 1, SlotsPerShard: 8, Timeout: 1 << 20})
+	rec := flight.New(flight.Options{SampleEvery: 2})
+	p.SetFlight(rec)
+	cs := rec.Callsite("alloc.whatif")
+	obs := whatif.NewObservatory(whatif.CostParams{})
+	obs.Router().Declare("alloc.whatif", whatif.PolicyPooled)
+	p.Start()
+	defer p.Stop()
+	r := p.Requester()
+
+	for batch := 0; batch < 3; batch++ {
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := r.CallAt(cs, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("observatory-armed Call allocates %v per op, want 0", allocs)
+		}
+		obs.Observe(rec.Stats(), 1e9)
+	}
+	if snap := obs.Router().Snapshot(); snap.Schema != whatif.RoutingSchema {
+		t.Fatalf("observatory never snapshotted: %+v", snap)
+	}
+}

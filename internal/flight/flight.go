@@ -233,6 +233,7 @@ type Recorder struct {
 	occSource     func() (polls, executes uint64)
 	prevPolls     atomic.Uint64
 	prevExecutes  atomic.Uint64
+	startNS       uint64 // clock reading at New; the first rate window's base
 	lastDigestNS  uint64
 	droppedstale  uint64 // records overwritten before digest reached them
 	digestedCount uint64
@@ -261,6 +262,7 @@ func New(opts Options) *Recorder {
 	}
 	r.tail = TailOptions{}
 	r.tail.fill()
+	r.startNS = r.opts.Now()
 	return r
 }
 

@@ -127,15 +127,20 @@ func (r *Recorder) fold(v RecordView) {
 func (r *Recorder) foldRates() {
 	now := r.opts.Now()
 	dtNS := now - r.lastDigestNS
-	if r.lastDigestNS == 0 || dtNS == 0 {
-		r.lastDigestNS = now
-		// Still prime prevArrivals so the first real window measures
-		// only its own arrivals.
-		for site, n := range r.arrivalsLocked() {
-			if n > 0 {
-				r.state(site).prevArrivals = n
-			}
-		}
+	if r.lastDigestNS == 0 {
+		// First digest: the window opened at New, not at some previous
+		// fold.  Measuring it from the recorder's birth instead of
+		// discarding it fixes the EWMA cold-start bias — the old
+		// prime-and-return left every callsite at RateEWMA 0 until the
+		// *second* digest, poisoning any rate consumer (the shadow
+		// router's regret estimates most of all) at startup.
+		dtNS = now - r.startNS
+	}
+	if dtNS == 0 {
+		// Same-instant re-digest (Stats immediately after Digest lands
+		// on the same monotonic nanosecond): fold nothing and leave
+		// prevArrivals untouched, so the window's arrivals still count
+		// toward the next real fold instead of being silently absorbed.
 		return
 	}
 	r.lastDigestNS = now

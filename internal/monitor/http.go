@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
 )
 
 // HealthHandler serves the aggregate health verdict on /debug/health:
@@ -79,20 +81,116 @@ func Handler(m *Monitor) http.Handler {
 	})
 }
 
+// DebugEntry is one mounted endpoint on a DebugMux, as the /debug/
+// index lists it.
+type DebugEntry struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+// DebugMux is an http.ServeMux that keeps a self-describing catalogue
+// of its endpoints and serves it as an index on /debug/ — so an
+// operator landing on the port can discover every mounted surface
+// (health, monitor, flight, incidents, epc, whatif, metrics) without
+// reading the source.  Register catalogued endpoints with HandleEntry;
+// plain Handle still works for unlisted ones.
+type DebugMux struct {
+	*http.ServeMux
+	entries []DebugEntry
+}
+
+// NewDebugMux returns an empty catalogue mux with the /debug/ index
+// mounted.
+func NewDebugMux() *DebugMux {
+	d := &DebugMux{ServeMux: http.NewServeMux()}
+	d.ServeMux.Handle("/debug/", d.indexHandler())
+	return d
+}
+
+// HandleEntry mounts the handler and lists it in the /debug/ index.
+func (d *DebugMux) HandleEntry(path, desc string, h http.Handler) {
+	d.ServeMux.Handle(path, h)
+	d.entries = append(d.entries, DebugEntry{Path: path, Desc: desc})
+}
+
+// Entries returns the catalogued endpoints sorted by path.
+func (d *DebugMux) Entries() []DebugEntry {
+	out := make([]DebugEntry, len(d.entries))
+	copy(out, d.entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// indexHandler serves the endpoint catalogue at exactly /debug/ (the
+// ServeMux subtree pattern also routes unknown /debug/* paths here;
+// those stay 404s).  Default JSON, ?format=text for a plain listing,
+// 400 on unknown formats — the shared debug contract.
+func (d *DebugMux) indexHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/debug/" {
+			http.NotFound(w, req)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", flight.ContentTypeText)
+			for _, e := range d.Entries() {
+				fmt.Fprintf(w, "%-20s %s\n", e.Path, e.Desc)
+			}
+		case "", "json":
+			w.Header().Set("Content-Type", flight.ContentTypeJSON)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Endpoints []DebugEntry `json:"endpoints"`
+			}{d.Entries()})
+		default:
+			http.Error(w, "unknown format (want json or text)", http.StatusBadRequest)
+		}
+	})
+}
+
 // Mux bundles the full observability surface of a monitored server:
-// /metrics (Prometheus exposition), /debug/health, /debug/monitor, and
-// — when the corresponding collector is attached — /debug/flight
-// (Options.Flight) and /debug/epc (Options.EPC).
-func Mux(reg *telemetry.Registry, m *Monitor) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Handler(reg))
-	mux.Handle("/debug/health", HealthHandler(m))
-	mux.Handle("/debug/monitor", Handler(m))
+// /metrics (Prometheus exposition — registry metrics plus, when the
+// collectors are attached, flight per-callsite series and what-if
+// regret series), /debug/health, /debug/monitor, a /debug/ index
+// listing every mounted endpoint, and — per attached collector —
+// /debug/flight (Options.Flight), /debug/epc (Options.EPC), and
+// /debug/whatif (Options.WhatIf).  The returned DebugMux is a ServeMux;
+// callers can keep mounting (HandleEntry adds to the index).
+func Mux(reg *telemetry.Registry, m *Monitor) *DebugMux {
+	mux := NewDebugMux()
+	mux.HandleEntry("/metrics", "Prometheus exposition (registry + flight callsites + what-if regret)",
+		metricsHandler(reg, m))
+	mux.HandleEntry("/debug/health", "aggregate health verdict (503 when critical)", HealthHandler(m))
+	mux.HandleEntry("/debug/monitor", "recent samples, events, and rule verdicts", Handler(m))
 	if f := m.Flight(); f != nil {
-		mux.Handle("/debug/flight", flight.Handler(f))
+		mux.HandleEntry("/debug/flight", "per-callsite flight recorder stats and traces", flight.Handler(f))
 	}
 	if c := m.EPCStat(); c != nil {
-		mux.Handle("/debug/epc", epcstat.Handler(c))
+		mux.HandleEntry("/debug/epc", "EPC pressure observatory (per-owner paging)", epcstat.Handler(c))
+	}
+	if o := m.WhatIf(); o != nil {
+		mux.HandleEntry("/debug/whatif", "causal what-if profiler and shadow-routing regret", whatif.Handler(o))
 	}
 	return mux
+}
+
+// metricsHandler concatenates the Prometheus expositions of every
+// attached source: the registry first (the historical /metrics body),
+// then the flight recorder's per-callsite series, then the what-if
+// observatory's regret series.
+func metricsHandler(reg *telemetry.Registry, m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheusWith(w, telemetry.PromOptions{
+			Exemplars: req.URL.Query().Get("exemplars") == "1",
+		})
+		if f := m.Flight(); f != nil {
+			_ = f.WritePrometheus(w)
+		}
+		if o := m.WhatIf(); o != nil {
+			_ = o.WritePrometheus(w)
+		}
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
 )
 
 // Options tunes a Monitor.  The zero value selects the defaults noted on
@@ -51,6 +52,14 @@ type Options struct {
 	// victim-interference rules join the default rule set.
 	EPC *epcstat.Collector
 
+	// WhatIf, when set, attaches the what-if observatory: every tick
+	// feeds the interval's flight stats to its shadow router, every
+	// sample carries the router's verdict, Mux serves /debug/whatif,
+	// and — when Rules is nil — the routing-regret rule joins the
+	// default rule set.  Pair it with Flight; without a recorder the
+	// router has no stats to score.
+	WhatIf *whatif.Observatory
+
 	// HealthWindow is how many trailing samples an event stays "active"
 	// for in Health().  Default 12.
 	HealthWindow int
@@ -93,6 +102,9 @@ func (o *Options) fill() {
 		if o.EPC != nil {
 			o.Rules = append(o.Rules, EPCRules(DefaultThresholds())...)
 		}
+		if o.WhatIf != nil {
+			o.Rules = append(o.Rules, WhatIfRules(DefaultThresholds())...)
+		}
 	}
 }
 
@@ -128,6 +140,7 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 	sampler.SetDistribution(opts.LatencyDist)
 	sampler.SetFlight(opts.Flight)
 	sampler.SetEPC(opts.EPC)
+	sampler.SetWhatIf(opts.WhatIf)
 	return &Monitor{sampler: sampler, opts: opts}
 }
 
@@ -136,6 +149,9 @@ func (m *Monitor) Flight() *flight.Recorder { return m.opts.Flight }
 
 // EPCStat returns the attached EPC pressure observatory, or nil.
 func (m *Monitor) EPCStat() *epcstat.Collector { return m.opts.EPC }
+
+// WhatIf returns the attached what-if observatory, or nil.
+func (m *Monitor) WhatIf() *whatif.Observatory { return m.opts.WhatIf }
 
 // SetOnEvent attaches (or replaces, or with nil detaches) the event
 // callback after construction — internal/incident uses this to wire a

@@ -99,6 +99,11 @@ type Thresholds struct {
 	CallsiteMinCalls     uint64  // ignore callsites with fewer interval arrivals
 	CallsiteWastePolls   float64 // attributed wasted polls per interval → Warning
 	CallsiteWasteMaxRate float64 // only callsites at or below this EWMA rate are charged
+
+	// Shadow-routing regret (what-if observatory attached): the
+	// interval regret of the single worst-routed callsite, in cycles.
+	RegretWarnCycles float64 // → Warning
+	RegretCritCycles float64 // → Critical
 }
 
 // DefaultThresholds returns the stock tuning.  The latency objective is
@@ -140,6 +145,12 @@ func DefaultThresholds() Thresholds {
 		CallsiteMinCalls:     10,
 		CallsiteWastePolls:   1000,
 		CallsiteWasteMaxRate: 1,
+
+		// 1M cycles is 250µs of core time per interval (0.1% of a core
+		// at the default 250ms cadence) — worth a look.  100M cycles is
+		// a tenth of a core burned every interval — act.
+		RegretWarnCycles: 1e6,
+		RegretCritCycles: 1e8,
 	}
 }
 
@@ -175,6 +186,16 @@ func FlightRules(t Thresholds) []Rule {
 	return []Rule{
 		&CallsiteStormRule{T: t},
 		&CallsiteSpinWasteRule{T: t},
+	}
+}
+
+// WhatIfRules returns the shadow-routing rule set — the routing-regret
+// rule reading the RouterSnapshot that Options.WhatIf embeds in every
+// sample.  Appended to DefaultRules automatically when an observatory
+// is attached and Options.Rules is nil.
+func WhatIfRules(t Thresholds) []Rule {
+	return []Rule{
+		&RoutingRegretRule{T: t},
 	}
 }
 
@@ -563,6 +584,47 @@ func (r *EPCVictimInterferenceRule) Evaluate(window []Sample) []Event {
 		})
 	}
 	return events
+}
+
+// RoutingRegretRule reads the shadow router's interval verdict: when
+// the worst-routed callsite's cycles-of-regret — the predicted core
+// time its declared static policy wastes against the shadow-optimal
+// one — crosses the budget, the rule names the callsite, the policy it
+// is on, and the policy the estimator would route it to.  This is the
+// actionable half of the what-if observatory: the regret metric is
+// validated against brute-force replay (internal/whatif, ≥95% ordering
+// agreement), so the recommendation is a measured reroute, not a
+// heuristic.  Fires only with an observatory attached (Options.WhatIf).
+type RoutingRegretRule struct{ T Thresholds }
+
+// Name implements Rule.
+func (r *RoutingRegretRule) Name() string { return "routing-regret" }
+
+// Evaluate implements Rule.
+func (r *RoutingRegretRule) Evaluate(window []Sample) []Event {
+	s := newest(window)
+	if s == nil || s.WhatIf == nil {
+		return nil
+	}
+	w := s.WhatIf.Worst()
+	if w == nil || w.RegretCycles < r.T.RegretWarnCycles {
+		return nil
+	}
+	sev, threshold := Warning, r.T.RegretWarnCycles
+	if w.RegretCycles >= r.T.RegretCritCycles {
+		sev, threshold = Critical, r.T.RegretCritCycles
+	}
+	return []Event{{
+		Rule: r.Name(), Severity: sev, Seq: s.Seq, At: s.When,
+		Value: w.RegretCycles, Threshold: threshold,
+		Diagnosis: fmt.Sprintf(
+			"callsite %q is mis-routed: its static %s routing cost ~%.0f cycles more than the "+
+				"shadow-optimal %s policy this interval (%.0f calls/s at %.0fns service; interval "+
+				"regret %.2gM cycles, cumulative %.2gM) — reroute it to %s, or tune CostParams if "+
+				"the fabric's economics have drifted",
+			w.Site, w.Current, w.RegretCycles, w.Best, w.RatePerS, w.ServiceNS,
+			s.WhatIf.IntervalRegretCycles/1e6, s.WhatIf.CumRegretCycles/1e6, w.Best),
+	}}
 }
 
 // prevCallsites indexes the previous sample's callsite rows by ID so

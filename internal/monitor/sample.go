@@ -22,6 +22,7 @@ import (
 	"hotcalls/internal/epcstat"
 	"hotcalls/internal/flight"
 	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
 )
 
 // Sample is one point on the monitor's timeline: the cumulative metric
@@ -103,6 +104,13 @@ type Sample struct {
 	// rules diff consecutive samples' snapshots via Snapshot.Sub.  Nil
 	// when no collector is attached.
 	EPC *epcstat.Snapshot `json:"epc,omitempty"`
+
+	// WhatIf is the shadow router's verdict for the interval ending at
+	// this sample (Options.WhatIf): per-callsite policy costs and
+	// cycles-of-regret, already diffed — unlike Callsites/EPC it is an
+	// interval view, not a cumulative one.  The routing-regret rule
+	// reads it.  Nil when no observatory is attached.
+	WhatIf *whatif.RouterSnapshot `json:"whatif,omitempty"`
 }
 
 // Sampler turns successive registry snapshots into interval Samples.
@@ -119,6 +127,9 @@ type Sampler struct {
 	flight *flight.Recorder
 
 	epcCol *epcstat.Collector
+
+	whatIf     *whatif.Observatory
+	prevTickNS uint64
 }
 
 // NewSampler returns a sampler over the registry.  A nil registry is
@@ -142,6 +153,14 @@ func (sa *Sampler) SetFlight(f *flight.Recorder) { sa.flight = f }
 // tick that flushes the collector, so every rule and render sees one
 // consistent snapshot per interval.
 func (sa *Sampler) SetEPC(c *epcstat.Collector) { sa.epcCol = c }
+
+// SetWhatIf attaches (or, with nil, detaches) the shadow-routing
+// observatory.  Each sample then feeds the interval's flight stats to
+// Observatory.Observe and carries the resulting RouterSnapshot, so the
+// routing-regret rule and every render see one verdict per interval.
+// Intervals are measured on the flight recorder's clock when one is
+// attached (deterministic under test clocks), wall time otherwise.
+func (sa *Sampler) SetWhatIf(o *whatif.Observatory) { sa.whatIf = o }
 
 // sub clamps counter deltas at zero so a registry swap or reset degrades
 // to an empty interval instead of wrapping.
@@ -199,6 +218,19 @@ func (sa *Sampler) Sample(now time.Time) Sample {
 	}
 	if sa.epcCol != nil {
 		s.EPC = sa.epcCol.Snapshot() // flushes the live accounting
+	}
+	if sa.whatIf != nil {
+		nowNS := uint64(now.UnixNano())
+		if sa.flight != nil {
+			nowNS = sa.flight.Now()
+		}
+		var interval uint64
+		if sa.prevTickNS != 0 && nowNS > sa.prevTickNS {
+			interval = nowNS - sa.prevTickNS
+		}
+		sa.prevTickNS = nowNS
+		verdict := sa.whatIf.Observe(s.Callsites, interval)
+		s.WhatIf = &verdict
 	}
 	sa.seq++
 	if !sa.hasPrev {

@@ -1,0 +1,225 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/whatif"
+)
+
+// whatIfFixture wires a monitor over a flight recorder and an armed
+// what-if observatory on the deterministic flight clock, with the
+// misrouted workload pre-declared: "hot.path" statically routed pooled
+// (the fallback) while its traffic — 1500 calls of ~400ns digested
+// service per 1ms interval, utilisation ~0.6 — is squarely in the
+// single-slot hot channel's win regime, so every driven interval
+// carries regret well above the 1e6-cycle warning threshold.
+func whatIfFixture(t *testing.T, opts Options) (*Monitor, *flight.Recorder, flight.Callsite, *flightClock, *whatif.Observatory) {
+	t.Helper()
+	clk := newFlightClock()
+	f := flight.New(flight.Options{Now: clk.now, SampleEvery: 1})
+	f.Bind(1)
+	cs := f.Callsite("hot.path")
+	obs := whatif.NewObservatory(whatif.CostParams{})
+	opts.Flight = f
+	opts.WhatIf = obs
+	return New(nil, opts), f, cs, clk, obs
+}
+
+// driveMisroutedInterval pushes one 1ms interval of the misrouted
+// workload: 1500 calls, each advancing the clock 500ns, then idle time
+// to round the interval out to 1e6ns.
+func driveMisroutedInterval(f *flight.Recorder, cs flight.Callsite, clk *flightClock) {
+	driveCalls(f, cs, clk, 1500)
+	clk.advance(2.5e5)
+}
+
+// TestRoutingRegretRule checks the acceptance scenario: the shadow
+// router flags the mis-routed callsite by name, recommends the policy
+// the brute-force replay agrees is optimal, and attaches its verdict
+// to the sample.
+func TestRoutingRegretRule(t *testing.T) {
+	m, f, cs, clk, _ := whatIfFixture(t, Options{})
+	m.Tick() // baseline primes the shadow router
+
+	driveMisroutedInterval(f, cs, clk)
+	s := m.Tick()
+
+	if s.WhatIf == nil {
+		t.Fatal("sample carries no what-if verdict")
+	}
+	worst := s.WhatIf.Worst()
+	if worst == nil {
+		t.Fatal("shadow router scored no callsites")
+	}
+	if worst.Site != "hot.path" || worst.Best != whatif.PolicyHot || worst.Current != whatif.PolicyPooled {
+		t.Fatalf("worst decision = %+v, want hot.path pooled->hot", worst)
+	}
+	if worst.RegretCycles < 1e6 {
+		t.Fatalf("regret %.3g cycles, want >= 1e6 (warning threshold)", worst.RegretCycles)
+	}
+
+	events := eventsByRule(m.Events(), "routing-regret")
+	if len(events) != 1 {
+		t.Fatalf("want exactly 1 routing-regret event, got %d: %+v", len(events), events)
+	}
+	e := events[0]
+	if e.Severity != Warning {
+		t.Fatalf("severity = %v, want Warning", e.Severity)
+	}
+	if !strings.Contains(e.Diagnosis, `"hot.path"`) {
+		t.Fatalf("diagnosis does not name the mis-routed callsite: %q", e.Diagnosis)
+	}
+	if !strings.Contains(e.Diagnosis, "reroute it to hot") {
+		t.Fatalf("diagnosis does not recommend the optimal policy: %q", e.Diagnosis)
+	}
+}
+
+// TestRoutingRegretDebounce checks the acceptance criterion that
+// routing-regret fires exactly once per episode through the monitor's
+// debounce: a misroute persisting across samples emits one opening
+// event, stays suppressed while the episode is live, and emits exactly
+// once more when the misroute returns after a quiet spell.
+func TestRoutingRegretDebounce(t *testing.T) {
+	m, f, cs, clk, _ := whatIfFixture(t, Options{EventDebounce: 2})
+	m.Tick() // baseline
+
+	// Episode one: the misroute persists for three samples.
+	for i := 0; i < 3; i++ {
+		driveMisroutedInterval(f, cs, clk)
+		m.Tick()
+	}
+	if got := eventsByRule(m.Events(), "routing-regret"); len(got) != 1 {
+		t.Fatalf("persistent misroute: want 1 event for the episode, got %d: %+v", len(got), got)
+	}
+
+	// The callsite goes quiet for EventDebounce samples: the episode ends.
+	for i := 0; i < 2; i++ {
+		clk.advance(1e6)
+		m.Tick()
+	}
+	if got := eventsByRule(m.Events(), "routing-regret"); len(got) != 1 {
+		t.Fatalf("quiet spell: want still 1 event, got %d", len(got))
+	}
+
+	// Episode two: the misroute comes back.
+	driveMisroutedInterval(f, cs, clk)
+	m.Tick()
+	if got := eventsByRule(m.Events(), "routing-regret"); len(got) != 2 {
+		t.Fatalf("returning misroute: want exactly 2 events (one per episode), got %d: %+v", len(got), got)
+	}
+}
+
+// TestMuxWhatIfEndpoint checks that Mux mounts /debug/whatif when an
+// observatory is attached, that the combined /metrics body carries the
+// what-if regret series, and that the /debug/ index lists every
+// mounted endpoint.
+func TestMuxWhatIfEndpoint(t *testing.T) {
+	m, f, cs, clk, _ := whatIfFixture(t, Options{})
+	m.Tick()
+	driveMisroutedInterval(f, cs, clk)
+	m.Tick()
+
+	srv := httptest.NewServer(Mux(nil, m))
+	defer srv.Close()
+
+	body := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, b := body("/debug/whatif"); code != http.StatusOK || !strings.Contains(b, whatif.ReportSchema) {
+		t.Fatalf("/debug/whatif: code %d body %q", code, b)
+	}
+	if code, b := body("/metrics"); code != http.StatusOK ||
+		!strings.Contains(b, "whatif_regret_cycles_total") ||
+		!strings.Contains(b, `flight_callsite_arrivals_total{callsite="hot.path"}`) {
+		t.Fatalf("/metrics missing what-if or flight series: code %d body %q", code, b)
+	}
+
+	code, b := body("/debug/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/ index: code %d", code)
+	}
+	var idx struct {
+		Endpoints []DebugEntry `json:"endpoints"`
+	}
+	if err := json.Unmarshal([]byte(b), &idx); err != nil {
+		t.Fatalf("index is not JSON: %v", err)
+	}
+	want := []string{"/debug/flight", "/debug/health", "/debug/monitor", "/debug/whatif", "/metrics"}
+	var paths []string
+	for _, e := range idx.Endpoints {
+		paths = append(paths, e.Path)
+	}
+	for _, w := range want {
+		found := false
+		for _, p := range paths {
+			if p == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("index missing %s: %v", w, paths)
+		}
+	}
+	for _, p := range paths {
+		if p == "/debug/epc" {
+			t.Fatalf("index lists /debug/epc with no EPC collector attached: %v", paths)
+		}
+	}
+
+	if code, b := body("/debug/?format=text"); code != http.StatusOK || !strings.Contains(b, "/debug/whatif") {
+		t.Fatalf("/debug/ text index: code %d body %q", code, b)
+	}
+	if code, _ := body("/debug/?format=pdf"); code != http.StatusBadRequest {
+		t.Fatalf("/debug/?format=pdf: code %d, want 400", code)
+	}
+	if code, _ := body("/debug/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("/debug/nosuch: code %d, want 404", code)
+	}
+}
+
+// TestMuxWithoutWhatIf checks the endpoint stays unmounted (404 via the
+// index's exact-path guard) when no observatory is attached, and the
+// index omits it.
+func TestMuxWithoutWhatIf(t *testing.T) {
+	clk := newFlightClock()
+	f := flight.New(flight.Options{Now: clk.now, SampleEvery: 1})
+	f.Bind(1)
+	m := New(nil, Options{Flight: f})
+	m.Tick()
+
+	srv := httptest.NewServer(Mux(nil, m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/whatif with no observatory: code %d, want 404", resp.StatusCode)
+	}
+	for _, e := range Mux(nil, m).Entries() {
+		if e.Path == "/debug/whatif" {
+			t.Fatal("index lists /debug/whatif with no observatory attached")
+		}
+	}
+}

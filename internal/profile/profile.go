@@ -244,36 +244,43 @@ func (p *Profile) walk(s *Span, b *Breakdown) {
 		p.OutsideCycles += self
 	} else {
 		b.Total += self
-		switch s.Event.Kind {
-		case telemetry.KindEEnter, telemetry.KindEExit, telemetry.KindEResume, telemetry.KindAEX:
-			b.Cycles[CatMicrocode] += self
-		case telemetry.KindEcall, telemetry.KindOcall, telemetry.KindMarshal:
-			// A call span's own self time is the SDK software path:
-			// prep, dispatch, glue, epilogue — all marshalling-side work.
-			b.Cycles[CatMarshal] += self
-		case telemetry.KindHotECall, telemetry.KindHotOCall, telemetry.KindSpin:
-			// Residual HotCall-span self time is protocol cost.
-			b.Cycles[CatSpin] += self
-		case telemetry.KindHandler:
-			b.Cycles[CatHandler] += self
-		case telemetry.KindMemAccess:
-			// Arg carries the MEE-extra cycles of the operation; the
-			// rest is raw cache-line movement.
-			mee := s.Event.Arg
-			if mee > self {
-				mee = self
-			}
-			b.Cycles[CatMEE] += mee
-			b.Cycles[CatCache] += self - mee
-		case telemetry.KindEPCFault, telemetry.KindEWB:
-			b.Cycles[CatEPC] += self
-		case telemetry.KindMEEMiss:
-			b.Cycles[CatMEE] += self
-		default:
-			b.Cycles[CatOther] += self
-		}
+		attributeSelf(s, self, &b.Cycles)
 	}
 	for _, c := range s.Children {
 		p.walk(c, b)
+	}
+}
+
+// attributeSelf charges a span's self time into the per-category cycle
+// vector — the single attribution table shared by the aggregate profile
+// and the per-call record export.
+func attributeSelf(s *Span, self uint64, cyc *[NumCategories]uint64) {
+	switch s.Event.Kind {
+	case telemetry.KindEEnter, telemetry.KindEExit, telemetry.KindEResume, telemetry.KindAEX:
+		cyc[CatMicrocode] += self
+	case telemetry.KindEcall, telemetry.KindOcall, telemetry.KindMarshal:
+		// A call span's own self time is the SDK software path:
+		// prep, dispatch, glue, epilogue — all marshalling-side work.
+		cyc[CatMarshal] += self
+	case telemetry.KindHotECall, telemetry.KindHotOCall, telemetry.KindSpin:
+		// Residual HotCall-span self time is protocol cost.
+		cyc[CatSpin] += self
+	case telemetry.KindHandler:
+		cyc[CatHandler] += self
+	case telemetry.KindMemAccess:
+		// Arg carries the MEE-extra cycles of the operation; the
+		// rest is raw cache-line movement.
+		mee := s.Event.Arg
+		if mee > self {
+			mee = self
+		}
+		cyc[CatMEE] += mee
+		cyc[CatCache] += self - mee
+	case telemetry.KindEPCFault, telemetry.KindEWB:
+		cyc[CatEPC] += self
+	case telemetry.KindMEEMiss:
+		cyc[CatMEE] += self
+	default:
+		cyc[CatOther] += self
 	}
 }

@@ -1,0 +1,46 @@
+package profile
+
+import "hotcalls/internal/telemetry"
+
+// CallRecord is one traced call's own attribution: the call-site name
+// and its per-category cycle vector, with nested calls carved out into
+// their own records (the same carve-out Analyze applies to aggregate
+// breakdowns).  Where Breakdown answers "where do this site's cycles go
+// on average", the record stream answers it per call — the recorded
+// workload the what-if causal profiler replays under virtual speedups.
+type CallRecord struct {
+	Name   string
+	Total  uint64 // cycles attributed to this call (nested calls excluded)
+	Cycles [NumCategories]uint64
+}
+
+// CallRecords folds an event stream (oldest first, as returned by
+// telemetry.Tracer.Events) into per-call attribution records, outermost
+// call first within each tree.  Spans outside any call are dropped,
+// matching Profile.OutsideCycles.
+func CallRecords(events []telemetry.Event) []CallRecord {
+	var out []*CallRecord
+	for _, r := range BuildTrees(events) {
+		walkRecords(r, nil, &out)
+	}
+	recs := make([]CallRecord, len(out))
+	for i, r := range out {
+		recs[i] = *r
+	}
+	return recs
+}
+
+func walkRecords(s *Span, cur *CallRecord, out *[]*CallRecord) {
+	if callKind(s.Event.Kind) {
+		cur = &CallRecord{Name: s.Event.Name}
+		*out = append(*out, cur)
+	}
+	if cur != nil {
+		self := s.Self()
+		cur.Total += self
+		attributeSelf(s, self, &cur.Cycles)
+	}
+	for _, c := range s.Children {
+		walkRecords(c, cur, out)
+	}
+}

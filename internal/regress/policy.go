@@ -78,6 +78,16 @@ func DefaultPolicy() Policy {
 			// improvement.
 			{Pattern: "incident/*", ForceDirection: true, Direction: HigherBetter},
 			{Pattern: "flight/*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
+			// The what-if experiment gates agreement fractions (causal
+			// profiler and routing-replay, deterministic ~1.0), the
+			// misroute-detection count (exactly 1), and the
+			// estimator-armed vs estimator-off interleaved ratio
+			// (expected ~1.00x — the observatory reads digested stats
+			// off the call path, so a sinking ratio means shadow scoring
+			// leaked onto it).  All higher-better; the 15% band matches
+			// the flight pair's observed scheduler jitter on 1-vCPU
+			// hosts.
+			{Pattern: "whatif/*", ForceDirection: true, Direction: HigherBetter, TolerancePct: 15},
 			// The EPC observer pair shares the flight pair's design
 			// (same-run interleaved touch-rate ratio, expected ~0.96x at
 			// production 1-in-32 sampling on the raw resident-touch path);

@@ -1,0 +1,174 @@
+package whatif
+
+import (
+	"sort"
+
+	"hotcalls/internal/profile"
+)
+
+// CausalSchema identifies the causal-profile wire format.
+const CausalSchema = "whatif-causal/v1"
+
+// ComponentImpact is one component's causal line: its attributed cycles
+// and share, and the predicted relative throughput change from a
+// virtual speedup of the profile's Delta.  For a serial cycle stream
+// the prediction is exact arithmetic — throughput N/C becomes
+// N/(C − δ·C_k) — so Share IS the derivative d(lnT)/dδ at δ=0, and
+// PredictedDeltaPct = 100·s·δ/(1 − s·δ) for share s.
+type ComponentImpact struct {
+	Component         string  `json:"component"`
+	Cycles            uint64  `json:"cycles"`
+	Share             float64 `json:"share"`
+	PredictedDeltaPct float64 `json:"predicted_delta_pct"`
+}
+
+// CallsiteImpact is one callsite's causal line: speeding up everything
+// this callsite does by Delta, with the per-component decomposition
+// restricted to the callsite.
+type CallsiteImpact struct {
+	Site              string            `json:"site"`
+	Calls             uint64            `json:"calls"`
+	Cycles            uint64            `json:"cycles"`
+	Share             float64           `json:"share"`
+	PredictedDeltaPct float64           `json:"predicted_delta_pct"`
+	Components        []ComponentImpact `json:"components,omitempty"`
+}
+
+// CausalProfile is the result of a virtual-speedup sweep over a recorded
+// workload: per-component and per-callsite d(throughput)/d(component).
+type CausalProfile struct {
+	Schema      string  `json:"schema"`
+	Delta       float64 `json:"delta"` // virtual-speedup fraction of the *Pct columns
+	Calls       uint64  `json:"calls"`
+	TotalCycles uint64  `json:"total_cycles"`
+
+	Components []ComponentImpact `json:"components"`
+	Callsites  []CallsiteImpact  `json:"callsites,omitempty"`
+}
+
+// VirtualSpeedup replays the workload with one component's cost scaled
+// by (1 − delta) on every call and returns the relative throughput
+// change (0.07 = +7%).  Negative delta models a slowdown.
+func (w Workload) VirtualSpeedup(comp profile.Category, delta float64) float64 {
+	var base, scaled float64
+	for _, c := range w.Calls {
+		t := float64(c.Total())
+		base += t
+		scaled += t - delta*float64(c.Cycles[comp])
+	}
+	if base == 0 || scaled <= 0 {
+		return 0
+	}
+	return base/scaled - 1
+}
+
+// VirtualSpeedupSite replays the workload with every cost of one
+// callsite scaled by (1 − delta) and returns the relative throughput
+// change — "what if this call path got delta faster end to end".
+func (w Workload) VirtualSpeedupSite(site string, delta float64) float64 {
+	var base, scaled float64
+	for _, c := range w.Calls {
+		t := float64(c.Total())
+		base += t
+		if c.Site == site {
+			scaled += (1 - delta) * t
+		} else {
+			scaled += t
+		}
+	}
+	if base == 0 || scaled <= 0 {
+		return 0
+	}
+	return base/scaled - 1
+}
+
+// AnalyzeCausal runs the virtual-speedup sweep at the given delta
+// (0 selects the conventional 10%) and returns the causal profile:
+// components in category order (zero-cycle categories omitted),
+// callsites sorted by name, each with its own component decomposition.
+func AnalyzeCausal(w Workload, delta float64) *CausalProfile {
+	if delta == 0 {
+		delta = 0.10
+	}
+	p := &CausalProfile{
+		Schema:      CausalSchema,
+		Delta:       delta,
+		Calls:       uint64(len(w.Calls)),
+		TotalCycles: w.TotalCycles(),
+	}
+	if p.TotalCycles == 0 {
+		return p
+	}
+	total := float64(p.TotalCycles)
+
+	var compCycles [profile.NumCategories]uint64
+	type siteAcc struct {
+		calls  uint64
+		cycles uint64
+		comp   [profile.NumCategories]uint64
+	}
+	sites := map[string]*siteAcc{}
+	for _, c := range w.Calls {
+		sa := sites[c.Site]
+		if sa == nil {
+			sa = &siteAcc{}
+			sites[c.Site] = sa
+		}
+		sa.calls++
+		for k, v := range c.Cycles {
+			compCycles[k] += v
+			sa.comp[k] += v
+			sa.cycles += v
+		}
+	}
+
+	impact := func(cycles uint64) (share, pct float64) {
+		share = float64(cycles) / total
+		pct = 100 * (total/(total-delta*float64(cycles)) - 1)
+		return
+	}
+
+	for k := profile.Category(0); k < profile.NumCategories; k++ {
+		if compCycles[k] == 0 {
+			continue
+		}
+		share, pct := impact(compCycles[k])
+		p.Components = append(p.Components, ComponentImpact{
+			Component:         k.String(),
+			Cycles:            compCycles[k],
+			Share:             share,
+			PredictedDeltaPct: pct,
+		})
+	}
+
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sa := sites[name]
+		share, pct := impact(sa.cycles)
+		ci := CallsiteImpact{
+			Site:              name,
+			Calls:             sa.calls,
+			Cycles:            sa.cycles,
+			Share:             share,
+			PredictedDeltaPct: pct,
+		}
+		for k := profile.Category(0); k < profile.NumCategories; k++ {
+			if sa.comp[k] == 0 {
+				continue
+			}
+			cshare, cpct := impact(sa.comp[k])
+			ci.Components = append(ci.Components, ComponentImpact{
+				Component:         k.String(),
+				Cycles:            sa.comp[k],
+				Share:             cshare,
+				PredictedDeltaPct: cpct,
+			})
+		}
+		p.Callsites = append(p.Callsites, ci)
+	}
+	return p
+}

@@ -1,0 +1,204 @@
+// Causal-profile validation, three ways: the synthetic workload's
+// per-component costs must match the analytic model the generator was
+// calibrated from (TestCausalVsAnalytic); a 10% virtual speedup's
+// predicted throughput delta must match the measured delta when the
+// same cost-model change is actually applied, per component, within the
+// acceptance bar of ±5% (TestCausalAppliedModel); and the same must
+// hold end-to-end on the real simulated channel with a scaled HotCall
+// latency model (TestCausalAppliedSim).
+package whatif_test
+
+import (
+	"math"
+	"testing"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/edl"
+	"hotcalls/internal/profile"
+	"hotcalls/internal/sdk"
+	"hotcalls/internal/sgx"
+	"hotcalls/internal/sim"
+	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
+)
+
+func TestCausalVsAnalytic(t *testing.T) {
+	m := whatif.DefaultModel()
+	w := m.Generate(sim.NewRNG(42), 20000)
+	p := whatif.AnalyzeCausal(w, 0.10)
+	if p.Calls != 20000 || p.Schema != whatif.CausalSchema {
+		t.Fatalf("header: %+v", p)
+	}
+
+	perCall := map[string]float64{}
+	for _, ci := range p.Components {
+		perCall[ci.Component] = float64(ci.Cycles) / float64(p.Calls)
+	}
+	for k := profile.Category(0); k < profile.NumCategories; k++ {
+		spec := m.Spec[k]
+		want := spec.Mean
+		if spec.Prob > 0 {
+			want *= spec.Prob
+		}
+		got := perCall[k.String()]
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s: %g cyc/call from a zero-cost spec", k, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("%s: generated %.1f cyc/call vs analytic %.1f (%.1f%% apart, tolerance 5%%)",
+				k, got, want, rel*100)
+		}
+	}
+
+	// Shares must sum to 1 and per-component predictions to be ordered
+	// by share.
+	var shares float64
+	for _, ci := range p.Components {
+		shares += ci.Share
+	}
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("component shares sum to %g, want 1", shares)
+	}
+}
+
+// TestCausalAppliedModel is the headline acceptance check: for every
+// component, the causal profiler's predicted throughput delta from a
+// 10% virtual speedup must match the measured delta when the generator
+// actually runs with that component's cost scaled to 90% — same seed,
+// forked per-component RNG streams, so only the treated component
+// moves.
+func TestCausalAppliedModel(t *testing.T) {
+	const n, delta, seed = 20000, 0.10, 7
+	m := whatif.DefaultModel()
+	base := m.Generate(sim.NewRNG(seed), n)
+	prof := whatif.AnalyzeCausal(base, delta)
+
+	pred := map[string]float64{}
+	for _, ci := range prof.Components {
+		pred[ci.Component] = ci.PredictedDeltaPct
+	}
+
+	for k := profile.Category(0); k < profile.NumCategories; k++ {
+		if m.Spec[k].Mean <= 0 {
+			continue
+		}
+		scaled := m.Scaled(k, 1-delta).Generate(sim.NewRNG(seed), n)
+		applied := 100 * (float64(base.TotalCycles())/float64(scaled.TotalCycles()) - 1)
+		p := pred[k.String()]
+		if rel := math.Abs(p-applied) / applied; rel > 0.05 {
+			t.Errorf("%s: predicted %+.3f%% vs applied %+.3f%% throughput (%.1f%% apart, tolerance 5%%)",
+				k, p, applied, rel*100)
+		} else {
+			t.Logf("%s: predicted %+.3f%%  applied %+.3f%%", k, p, applied)
+		}
+	}
+}
+
+const causalEDL = `
+enclave {
+    trusted {
+        public int ecall_empty(void);
+    };
+};
+`
+
+// causalFixture builds the platform + runtime + hot channel with deep
+// tracing attached, on a fixed seed so paired runs draw identical RNG
+// streams.
+func causalFixture(t *testing.T) (*telemetry.Registry, *core.Channel, *sim.Clock) {
+	t.Helper()
+	p := sgx.NewPlatform(7)
+	var clk sim.Clock
+	e := p.ECreate(&clk, 64<<20, 4, sgx.Attributes{})
+	for i := 0; i < 4; i++ {
+		if err := e.EAdd(&clk, uint64(i)*sgx.PageSize, make([]byte, sgx.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.EInit(&clk); err != nil {
+		t.Fatal(err)
+	}
+	rt := sdk.New(p, e, edl.MustParse(causalEDL))
+	rt.MustBindECall("ecall_empty", func(ctx *sdk.Ctx, args []sdk.Arg) uint64 { return 0 })
+
+	reg := telemetry.New()
+	reg.EnableDeepTracing(1 << 20)
+	p.SetTelemetry(reg)
+	rt.SetTelemetry(reg)
+	ch := core.NewChannel(rt, p.RNG)
+	ch.SetTelemetry(reg)
+	return reg, ch, &clk
+}
+
+// TestCausalAppliedSim closes the loop on the real simulation: predict
+// the throughput gain of a 10% spin speedup from a traced HotCall
+// workload, then re-run the identical workload on a LatencyModel scaled
+// to 90% and compare the measured gain.
+func TestCausalAppliedSim(t *testing.T) {
+	const runs, delta = 3000, 0.10
+
+	run := func(scale float64) whatif.Workload {
+		reg, ch, clk := causalFixture(t)
+		if scale != 1 {
+			ch.Model = ch.Model.Scale(scale)
+		}
+		for i := 0; i < runs; i++ {
+			if _, err := ch.HotECall(clk, "ecall_empty"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := reg.Tracer().Dropped(); d != 0 {
+			t.Fatalf("trace ring overflowed (%d dropped)", d)
+		}
+		return whatif.FromEvents(reg.Tracer().Events())
+	}
+
+	base := run(1)
+	if n := len(base.Calls); n != runs {
+		t.Fatalf("recorded %d calls, want %d", n, runs)
+	}
+	prof := whatif.AnalyzeCausal(base, delta)
+	var predicted float64
+	for _, ci := range prof.Components {
+		if ci.Component == profile.CatSpin.String() {
+			predicted = ci.PredictedDeltaPct
+		}
+	}
+	if predicted == 0 {
+		t.Fatalf("no spin component in profile: %+v", prof.Components)
+	}
+
+	scaled := run(1 - delta)
+	applied := 100 * (float64(base.TotalCycles())/float64(scaled.TotalCycles()) - 1)
+	if rel := math.Abs(predicted-applied) / applied; rel > 0.05 {
+		t.Errorf("spin: predicted %+.3f%% vs applied %+.3f%% throughput (%.1f%% apart, tolerance 5%%)",
+			predicted, applied, rel*100)
+	} else {
+		t.Logf("spin: predicted %+.3f%%  applied %+.3f%%", predicted, applied)
+	}
+}
+
+// TestVirtualSpeedupSite pins the callsite-level counterfactual: with
+// two sites in a known cycle ratio, speeding one up by δ must move
+// throughput by exactly share·δ/(1−share·δ).
+func TestVirtualSpeedupSite(t *testing.T) {
+	w := whatif.Workload{Calls: []whatif.Call{
+		{Site: "a", Cycles: [profile.NumCategories]uint64{profile.CatSpin: 3000}},
+		{Site: "b", Cycles: [profile.NumCategories]uint64{profile.CatSpin: 1000}},
+	}}
+	got := w.VirtualSpeedupSite("a", 0.10)
+	want := 4000.0/(4000-0.10*3000) - 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("site speedup = %v, want %v", got, want)
+	}
+	p := whatif.AnalyzeCausal(w, 0.10)
+	if len(p.Callsites) != 2 || p.Callsites[0].Site != "a" || p.Callsites[1].Site != "b" {
+		t.Fatalf("callsites: %+v", p.Callsites)
+	}
+	if pct := p.Callsites[0].PredictedDeltaPct; math.Abs(pct-100*want) > 1e-9 {
+		t.Fatalf("callsite a predicted %v%%, want %v%%", pct, 100*want)
+	}
+}

@@ -1,0 +1,88 @@
+package whatif
+
+import (
+	"hotcalls/internal/core"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/profile"
+	"hotcalls/internal/sim"
+)
+
+// CostSpec describes one component's per-call cost draw in the
+// synthetic workload generator: with probability Prob the call incurs
+// Mean cycles jittered uniformly by ±Jitter·Mean.
+type CostSpec struct {
+	Mean   float64
+	Jitter float64 // fraction of Mean, uniform both ways
+	Prob   float64 // per-call incidence (0 treated as 1 when Mean > 0)
+}
+
+// Model generates synthetic workloads from per-component cost specs.
+// DefaultModel mirrors the constants the simulation actually charges,
+// so a generated workload's causal profile lines up with a traced one —
+// and, more importantly, the generator is the "actually applied" arm of
+// causal validation: predict a speedup from one workload, then Generate
+// again from a Scaled model and compare measured throughput.
+type Model struct {
+	Site string
+	Spec [profile.NumCategories]CostSpec
+}
+
+// DefaultModel returns a model calibrated to the simulation's warm
+// ecall-with-work shape: EENTER/EEXIT microcode, the SDK software path
+// and its cache-line traffic (profile.AnalyticWarmECall), the HotCall
+// latency model's spin mean with its dispersion, an ~8-node MEE tree
+// walk at the calibrated 28-cycle node fetch, a 2% EPC fault incidence
+// at the paging manager's trap+ELDU price, and a moderate handler body.
+func DefaultModel() Model {
+	a := profile.AnalyticWarmECall()
+	spin := core.NewLatencyModel(sim.NewRNG(1)).Mean()
+	m := Model{Site: "whatif.synth"}
+	m.Spec[profile.CatMicrocode] = CostSpec{Mean: a.Microcode}
+	m.Spec[profile.CatMarshal] = CostSpec{Mean: a.Marshal, Jitter: 0.1}
+	m.Spec[profile.CatCache] = CostSpec{Mean: a.Cache, Jitter: 0.2}
+	m.Spec[profile.CatSpin] = CostSpec{Mean: spin, Jitter: 0.5}
+	m.Spec[profile.CatMEE] = CostSpec{Mean: 8 * 28, Jitter: 0.5}
+	m.Spec[profile.CatEPC] = CostSpec{Mean: epc.FaultCost, Prob: 0.02}
+	m.Spec[profile.CatHandler] = CostSpec{Mean: 1500, Jitter: 0.3}
+	return m
+}
+
+// Scaled returns a copy with one component's mean cost multiplied by f
+// — the applied counterpart of a virtual speedup by (1 − f).
+func (m Model) Scaled(comp profile.Category, f float64) Model {
+	m.Spec[comp].Mean *= f
+	return m
+}
+
+// Generate draws n calls.  Each component stream forks its own RNG, so
+// scaling one component leaves every other component's draws — and the
+// comparison workload — untouched.
+func (m Model) Generate(rng *sim.RNG, n int) Workload {
+	var streams [profile.NumCategories]*sim.RNG
+	for k := range streams {
+		streams[k] = rng.Fork(uint64(k) + 1)
+	}
+	w := Workload{Calls: make([]Call, n)}
+	for i := range w.Calls {
+		c := Call{Site: m.Site}
+		for k, spec := range m.Spec {
+			if spec.Mean <= 0 {
+				continue
+			}
+			r := streams[k]
+			if spec.Prob > 0 && !r.Bool(spec.Prob) {
+				continue
+			}
+			cost := spec.Mean
+			if spec.Jitter > 0 {
+				cost *= 1 + r.Uniform(-spec.Jitter, spec.Jitter)
+			}
+			if cost < 0 {
+				cost = 0
+			}
+			c.Cycles[k] = uint64(cost + 0.5)
+		}
+		w.Calls[i] = c
+	}
+	return w
+}

@@ -1,0 +1,119 @@
+package whatif
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"hotcalls/internal/flight"
+)
+
+// ReportSchema identifies the combined what-if report wire format.
+const ReportSchema = "whatif-report/v1"
+
+// Report is the observatory's combined view: the latest causal profile
+// (when one has been captured) and the shadow router's latest interval.
+type Report struct {
+	Schema  string         `json:"schema"`
+	Causal  *CausalProfile `json:"causal,omitempty"`
+	Routing RouterSnapshot `json:"routing"`
+}
+
+// Observatory ties the two instruments together behind one surface: the
+// shadow router scores every monitor interval, and a causal profile can
+// be attached whenever a deep trace (or synthetic workload) has been
+// analyzed.  It is the thing /debug/whatif serves, the monitor's
+// routing-regret rule reads, and incident bundles embed.
+type Observatory struct {
+	router *Router
+
+	mu     sync.Mutex
+	causal *CausalProfile
+}
+
+// NewObservatory returns an observatory around a fresh shadow router; a
+// zero CostParams selects DefaultCostParams.
+func NewObservatory(params CostParams) *Observatory {
+	return &Observatory{router: NewRouter(params)}
+}
+
+// Router exposes the shadow router for policy declarations.
+func (o *Observatory) Router() *Router {
+	if o == nil {
+		return nil
+	}
+	return o.router
+}
+
+// SetCausal attaches (or replaces) the causal profile the report carries.
+func (o *Observatory) SetCausal(p *CausalProfile) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.causal = p
+	o.mu.Unlock()
+}
+
+// Causal returns the attached causal profile, or nil.
+func (o *Observatory) Causal() *CausalProfile {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.causal
+}
+
+// Observe feeds one interval of flight-recorder stats to the shadow
+// router.  Nil-safe so callers can leave the observatory unarmed.
+func (o *Observatory) Observe(stats []flight.CallsiteStats, intervalNS uint64) RouterSnapshot {
+	if o == nil {
+		return RouterSnapshot{Schema: RoutingSchema}
+	}
+	return o.router.Observe(stats, intervalNS)
+}
+
+// Report assembles the combined report.  Nil-safe: an unarmed
+// observatory reports an empty routing snapshot and no causal profile.
+func (o *Observatory) Report() *Report {
+	rep := &Report{Schema: ReportSchema, Routing: RouterSnapshot{Schema: RoutingSchema}}
+	if o == nil {
+		return rep
+	}
+	rep.Routing = o.router.Snapshot()
+	rep.Causal = o.Causal()
+	return rep
+}
+
+// WritePrometheus appends the observatory's regret series in Prometheus
+// exposition format: cumulative regret, the latest interval's regret,
+// and per-callsite regret with the current and recommended policies as
+// labels.  Nil-safe no-op.
+func (o *Observatory) WritePrometheus(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	snap := o.router.Snapshot()
+	if _, err := fmt.Fprintf(w, "# HELP whatif_regret_cycles_total Cumulative shadow-routing regret in cycles.\n# TYPE whatif_regret_cycles_total counter\nwhatif_regret_cycles_total %g\n", snap.CumRegretCycles); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# HELP whatif_interval_regret_cycles Latest interval's shadow-routing regret in cycles.\n# TYPE whatif_interval_regret_cycles gauge\nwhatif_interval_regret_cycles %g\n", snap.IntervalRegretCycles); err != nil {
+		return err
+	}
+	if len(snap.Decisions) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP whatif_callsite_regret_cycles Latest interval's regret per callsite.\n# TYPE whatif_callsite_regret_cycles gauge\n"); err != nil {
+		return err
+	}
+	for _, d := range snap.Decisions {
+		// %q escapes quotes and backslashes, which matches the
+		// Prometheus label escaping rules for these characters.
+		if _, err := fmt.Fprintf(w, "whatif_callsite_regret_cycles{callsite=%q,current=%q,best=%q} %g\n",
+			d.Site, d.Current.String(), d.Best.String(), d.RegretCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}

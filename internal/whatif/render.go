@@ -1,0 +1,95 @@
+package whatif
+
+import (
+	"fmt"
+	"strings"
+
+	"hotcalls/internal/dist"
+)
+
+// RenderText renders the report as a fixed-width terminal table: the
+// causal component ladder first (most impactful component on top), then
+// the shadow router's latest interval with per-callsite verdicts.
+func (r *Report) RenderText() string {
+	var b strings.Builder
+	b.WriteString("what-if observatory\n")
+
+	if c := r.Causal; c != nil && len(c.Components) > 0 {
+		fmt.Fprintf(&b, "\ncausal profile  (virtual speedup δ=%.0f%%, %d calls, %d cycles)\n",
+			c.Delta*100, c.Calls, c.TotalCycles)
+		fmt.Fprintf(&b, "  %-10s %14s %8s %12s\n", "component", "cycles", "share", "+throughput")
+		for _, ci := range c.Components {
+			fmt.Fprintf(&b, "  %-10s %14d %7.1f%% %11.2f%%\n",
+				ci.Component, ci.Cycles, ci.Share*100, ci.PredictedDeltaPct)
+		}
+		for _, site := range c.Callsites {
+			fmt.Fprintf(&b, "  callsite %s: %d calls, share %.1f%%, +%.2f%% if %.0f%% faster\n",
+				site.Site, site.Calls, site.Share*100, site.PredictedDeltaPct, c.Delta*100)
+		}
+	} else {
+		b.WriteString("\ncausal profile: none captured\n")
+	}
+
+	s := r.Routing
+	fmt.Fprintf(&b, "\nshadow routing  (%d intervals scored, cum regret %.0f cycles)\n",
+		s.Intervals, s.CumRegretCycles)
+	if len(s.Decisions) == 0 {
+		b.WriteString("  no scored callsites this interval\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-20s %9s %10s %7s %7s %14s\n",
+		"callsite", "rate/s", "svc p50", "now", "best", "regret cyc")
+	for _, d := range s.Decisions {
+		fmt.Fprintf(&b, "  %-20s %9.0f %8.0fns %7s %7s %14.0f\n",
+			d.Site, d.RatePerS, d.ServiceNS, d.Current, d.Best, d.RegretCycles)
+	}
+	return b.String()
+}
+
+// RenderSVG renders the report's figure.  With a causal profile it plots
+// the predicted throughput gain of each component across virtual
+// speedups δ ∈ [0, 30%] — the Coz-style causal curves; the slope at the
+// origin is the component's share.  Without one it plots the shadow
+// router's per-callsite predicted policy costs for the latest interval.
+// Byte-deterministic via the internal/dist renderer.
+func (r *Report) RenderSVG() string {
+	if c := r.Causal; c != nil && len(c.Components) > 0 {
+		total := float64(c.TotalCycles)
+		var series []dist.Series
+		for _, ci := range c.Components {
+			var pts []dist.CDFPoint
+			for d := 0.0; d <= 0.301; d += 0.02 {
+				pts = append(pts, dist.CDFPoint{
+					Value:    d * 100,
+					Fraction: 100 * (total/(total-d*float64(ci.Cycles)) - 1),
+				})
+			}
+			series = append(series, dist.Series{Name: ci.Component, Points: pts})
+		}
+		return dist.RenderLinesSVG(dist.PlotConfig{
+			Title:  "causal profile: virtual speedup vs throughput",
+			XLabel: "virtual speedup of component (%)",
+			YLabel: "predicted throughput gain (%)",
+		}, series)
+	}
+
+	cfg := dist.PlotConfig{
+		Title:  "shadow routing: predicted policy cost per callsite",
+		XLabel: "callsite rank (worst regret first)",
+		YLabel: "predicted core time (ns)",
+	}
+	if len(r.Routing.Decisions) == 0 {
+		return dist.RenderLinesSVG(cfg, nil)
+	}
+	var series [NumPolicies]dist.Series
+	for p := Policy(0); p < NumPolicies; p++ {
+		series[p].Name = p.String()
+	}
+	for i, d := range r.Routing.Decisions {
+		for p := Policy(0); p < NumPolicies; p++ {
+			series[p].Points = append(series[p].Points,
+				dist.CDFPoint{Value: float64(i + 1), Fraction: d.CostsNS[p]})
+		}
+	}
+	return dist.RenderLinesSVG(cfg, series[:])
+}

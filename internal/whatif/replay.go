@@ -1,0 +1,156 @@
+package whatif
+
+import "hotcalls/internal/sim"
+
+// SiteTrace is one callsite-interval's recorded trace: arrival offsets
+// (sorted, ns from interval start) and per-call service times.  The
+// replay validator drives it through each routing policy discretely,
+// event by event, to get the ground-truth core-time bill the closed-
+// form estimator only approximates.
+type SiteTrace struct {
+	IntervalNS float64
+	ArrivalsNS []float64
+	ServiceNS  []float64
+}
+
+// SynthTrace draws a Poisson arrival stream at the given rate with
+// uniformly jittered (±50%) service times around the mean, truncated at
+// the interval end.  Deterministic for a given RNG state.
+func SynthTrace(rng *sim.RNG, ratePerS, meanServiceNS, intervalNS float64) SiteTrace {
+	tr := SiteTrace{IntervalNS: intervalNS}
+	gapMean := 1e9 / ratePerS
+	for t := rng.Exp(gapMean); t < intervalNS; t += rng.Exp(gapMean) {
+		tr.ArrivalsNS = append(tr.ArrivalsNS, t)
+		tr.ServiceNS = append(tr.ServiceNS, meanServiceNS*(1+rng.Uniform(-0.5, 0.5)))
+	}
+	return tr
+}
+
+// Stats summarises the trace into the estimator's interval view (no
+// observed waste — the estimator falls back to its pooled idle share,
+// exactly as it would for a callsite the recorder has not attributed
+// yet).
+func (tr SiteTrace) Stats(site string) IntervalStats {
+	var sum float64
+	for _, s := range tr.ServiceNS {
+		sum += s
+	}
+	st := IntervalStats{Site: site, Arrivals: float64(len(tr.ArrivalsNS)), IntervalNS: tr.IntervalNS}
+	if len(tr.ServiceNS) > 0 {
+		st.ServiceNS = sum / float64(len(tr.ServiceNS))
+	}
+	return st
+}
+
+// Replay prices the trace under one policy by discrete-event
+// simulation, in core-nanoseconds — requester time plus responder spin,
+// the same economics Score approximates in closed form:
+//
+//   - sync:   each call pays the full SDK crossing plus its service;
+//     calls are independent (no shared responder, no queue).
+//   - hot:    a single dedicated slot: calls queue FIFO behind the
+//     responder, the requester spins out the queue wait, and the
+//     responder core burns every nanosecond it is not executing.
+//   - pooled: the same FIFO discipline with the pool's dispatch
+//     overhead, against a responder that is busy with other callsites a
+//     PoolBackground fraction of the time (effective service time
+//     s/(1 − PoolBackground)); in exchange only PooledShare of its
+//     idle time is billed to this callsite.
+func (p CostParams) Replay(tr SiteTrace, pol Policy) float64 {
+	switch pol {
+	case PolicySync:
+		var total float64
+		for _, s := range tr.ServiceNS {
+			total += p.SyncCallNS + s
+		}
+		return total
+	case PolicyHot, PolicyPooled:
+		overhead, slowdown := p.HotSyncNS, 1.0
+		if pol == PolicyPooled {
+			overhead = p.PooledSyncNS
+			slowdown = 1 / (1 - p.PoolBackground)
+		}
+		var total, busy, busyUntil float64
+		for i, arr := range tr.ArrivalsNS {
+			start := arr
+			if busyUntil > start {
+				start = busyUntil
+			}
+			wait := start - arr
+			s := tr.ServiceNS[i] * slowdown
+			busyUntil = start + s
+			busy += s
+			total += overhead + wait + s
+		}
+		idle := tr.IntervalNS - busy
+		if idle < 0 {
+			idle = 0
+		}
+		if pol == PolicyPooled {
+			idle *= p.PooledShare
+		}
+		return total + idle
+	}
+	return 0
+}
+
+// ReplayAll prices the trace under every policy.
+func (p CostParams) ReplayAll(tr SiteTrace) [NumPolicies]float64 {
+	var c [NumPolicies]float64
+	for pol := Policy(0); pol < NumPolicies; pol++ {
+		c[pol] = p.Replay(tr, pol)
+	}
+	return c
+}
+
+// AgreementResult is one ordering-agreement sweep: of Total synthetic
+// callsite-intervals, on how many did the estimator's recommended
+// policy match the brute-force replay's optimum (or land within
+// NearTiePct of it — a decision that costs the same is not a
+// disagreement, it is a tie broken differently).
+type AgreementResult struct {
+	Agree      int     `json:"agree"`
+	Total      int     `json:"total"`
+	NearTiePct float64 `json:"near_tie_pct"`
+}
+
+// Fraction returns the agreement rate.
+func (a AgreementResult) Fraction() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Agree) / float64(a.Total)
+}
+
+// OrderingAgreement sweeps a grid of arrival rates × service times per
+// seed, replays every cell under all three policies, and counts the
+// cells where the estimator's argmin matches the replay's argmin (or
+// its pick replays within nearTiePct of the replay optimum).  The
+// shadow router's acceptance bar is ≥95% across seeds 0/7/42/123.
+func OrderingAgreement(params CostParams, seeds []uint64, nearTiePct float64) AgreementResult {
+	params.fill()
+	rates := []float64{2, 10, 50, 200, 1000, 5000, 20000, 100000}
+	services := []float64{500, 2000, 10000, 50000}
+	const intervalNS = 100e6 // 100ms windows, the monitor's native cadence
+
+	res := AgreementResult{NearTiePct: nearTiePct}
+	for _, seed := range seeds {
+		rng := sim.NewRNG(sim.SeedMix(seed, 0x77a71f))
+		for _, rate := range rates {
+			for _, svc := range services {
+				tr := SynthTrace(rng.Fork(uint64(rate*7)+uint64(svc)), rate, svc, intervalNS)
+				if len(tr.ArrivalsNS) == 0 {
+					continue
+				}
+				res.Total++
+				est := Best(params.Score(tr.Stats("synth")))
+				truth := params.ReplayAll(tr)
+				opt := Best(truth)
+				if est == opt || truth[est] <= truth[opt]*(1+nearTiePct/100) {
+					res.Agree++
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,57 @@
+package whatif_test
+
+import (
+	"testing"
+
+	"hotcalls/internal/sim"
+	"hotcalls/internal/whatif"
+)
+
+// TestOrderingAgreement is the shadow router's acceptance bar: across
+// the rate × service grid and seeds 0/7/42/123, the closed-form
+// estimator's recommended policy must agree with the brute-force
+// discrete-event replay's optimum on at least 95% of callsite-intervals
+// (a pick that replays within 2% of the optimum counts as a tie, not a
+// disagreement).
+func TestOrderingAgreement(t *testing.T) {
+	res := whatif.OrderingAgreement(whatif.CostParams{}, []uint64{0, 7, 42, 123}, 2)
+	if res.Total < 100 {
+		t.Fatalf("only %d callsite-intervals swept; the grid should produce ~128", res.Total)
+	}
+	if f := res.Fraction(); f < 0.95 {
+		t.Fatalf("estimator agrees with replay on %.1f%% of %d intervals, acceptance bar is 95%%",
+			f*100, res.Total)
+	} else {
+		t.Logf("agreement %.1f%% over %d callsite-intervals", f*100, res.Total)
+	}
+}
+
+// TestReplayDeterministic: same seed, same trace, same verdicts.
+func TestReplayDeterministic(t *testing.T) {
+	p := whatif.DefaultCostParams()
+	a := whatif.SynthTrace(sim.NewRNG(9), 5000, 2000, 100e6)
+	b := whatif.SynthTrace(sim.NewRNG(9), 5000, 2000, 100e6)
+	if len(a.ArrivalsNS) == 0 || len(a.ArrivalsNS) != len(b.ArrivalsNS) {
+		t.Fatalf("traces diverged: %d vs %d arrivals", len(a.ArrivalsNS), len(b.ArrivalsNS))
+	}
+	if p.ReplayAll(a) != p.ReplayAll(b) {
+		t.Fatal("replay is not deterministic")
+	}
+}
+
+// TestReplayRegimes sanity-checks the replay's economics at the
+// extremes: a trickle must replay cheapest under sync, a torrent under
+// hot.
+func TestReplayRegimes(t *testing.T) {
+	p := whatif.DefaultCostParams()
+
+	trickle := whatif.SynthTrace(sim.NewRNG(1), 10, 2000, 1e9)
+	if best := whatif.Best(p.ReplayAll(trickle)); best != whatif.PolicySync {
+		t.Errorf("trickle replays best under %s, want sync (%v)", best, p.ReplayAll(trickle))
+	}
+
+	torrent := whatif.SynthTrace(sim.NewRNG(2), 1000000, 500, 1e9)
+	if best := whatif.Best(p.ReplayAll(torrent)); best != whatif.PolicyHot {
+		t.Errorf("torrent replays best under %s, want hot (%v)", best, p.ReplayAll(torrent))
+	}
+}

@@ -1,0 +1,354 @@
+package whatif
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/sim"
+)
+
+// Policy is a callsite routing choice.
+type Policy uint8
+
+// The three routing policies the paper's design space spans: the
+// classic SDK synchronous ecall (no spinning, ~8,640 cycles of
+// crossing), the dedicated single-slot HotCall responder (a whole core
+// spinning for one callsite, ~620 cycles per call), and the shared
+// windowed responder pool (amortized spinning, a dispatch queue).
+const (
+	PolicySync Policy = iota
+	PolicyHot
+	PolicyPooled
+	NumPolicies
+)
+
+// String returns the policy's table label.
+func (p Policy) String() string {
+	switch p {
+	case PolicySync:
+		return "sync"
+	case PolicyHot:
+		return "hot"
+	case PolicyPooled:
+		return "pooled"
+	}
+	return "unknown"
+}
+
+// MarshalJSON emits the string label, keeping reports readable.
+func (p Policy) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON accepts the string label.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for q := Policy(0); q < NumPolicies; q++ {
+		if q.String() == s {
+			*p = q
+			return nil
+		}
+	}
+	return fmt.Errorf("whatif: unknown policy %q", s)
+}
+
+// CostParams are the estimator's calibrated per-policy costs, all in
+// nanoseconds of core time (at sim.FrequencyHz, 1 ns = 4 cycles).  The
+// defaults derive from the paper's headline numbers: a 620-cycle
+// HotCall and an 8,640-cycle warm SDK ecall at 4 GHz.
+type CostParams struct {
+	HotSyncNS      float64 // per-call sync overhead on a dedicated hot slot
+	PooledSyncNS   float64 // per-call submit+claim+return overhead on the pool
+	SyncCallNS     float64 // per-call overhead of the full SDK crossing
+	PollNS         float64 // one empty responder poll round
+	PooledShare    float64 // one callsite's default share of a pooled spinner's idle
+	PoolBackground float64 // fraction of pooled-responder time taken by other callsites
+	MaxRho         float64 // utilization clamp for the queue-wait terms
+	MinCalls       uint64  // ignore callsite-intervals with fewer arrivals
+}
+
+// DefaultCostParams returns the calibrated defaults.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		HotSyncNS:      155,  // 620 cycles @ 4 GHz
+		PooledSyncNS:   250,  // hot sync + windowed dispatch + claim
+		SyncCallNS:     2160, // 8,640 cycles @ 4 GHz
+		PollNS:         25,   // ~100-cycle poll loop
+		PooledShare:    0.125,
+		PoolBackground: 0.30,
+		MaxRho:         0.95,
+		MinCalls:       1,
+	}
+}
+
+func (p *CostParams) fill() {
+	if *p == (CostParams{}) {
+		*p = DefaultCostParams()
+	}
+}
+
+// IntervalStats is one callsite-interval as the estimator sees it:
+// interval arrivals, per-call service time, the interval length, and —
+// when the flight recorder attributed it — the observed wasted spin.
+type IntervalStats struct {
+	Site            string
+	Arrivals        float64
+	ServiceNS       float64
+	IntervalNS      float64
+	WastedSpinNS    float64 // attributed empty-poll core time this interval
+	WasteObserved   bool    // WastedSpinNS came from live attribution
+	CurrentlyPooled bool    // informational; scoring is policy-agnostic
+}
+
+// Score predicts each policy's total core-nanoseconds for the interval:
+// requester-side latency (arrivals × per-call cost) plus responder-side
+// spin budget.  One currency — core time — so a policy that saves
+// per-call latency by burning a dedicated spinning core is charged for
+// the core, and a policy that serializes calls through one responder is
+// charged the queueing it induces.
+//
+//   - sync:   A·(SyncCallNS + S).  Every requester crosses on its own
+//     core: dearest per call, but embarrassingly parallel and no spin.
+//   - hot:    A·(HotSyncNS + W + S) + (T − A·S).  A dedicated slot:
+//     cheapest crossing, but calls serialize through one responder
+//     (queue-wait term W = ρ/(1−ρ)·S from own traffic, ρ clamped at
+//     MaxRho) and the responder core burns every idle nanosecond.
+//   - pooled: A·(PooledSyncNS + W' + S') + idle share.  The shared
+//     responder is already busy a PoolBackground fraction of the time
+//     with other callsites, so this site's effective service time is
+//     S' = S/(1 − PoolBackground) and the queue runs at ρ' = ρ/(1 −
+//     PoolBackground); in exchange the idle charge is only the flight
+//     recorder's observed wasted-spin attribution when present, else
+//     PooledShare of the dedicated slot's idle — a shared spinner's
+//     fair share.
+//
+// The regimes follow: sync wins trickles (any spinner out-burns the
+// crossings) and near-saturation (queueing beats parallelism never);
+// pooled wins the mid range; hot wins high-rate moderate-utilization
+// sites where pool interference costs more than a private core's idle.
+func (p CostParams) Score(st IntervalStats) [NumPolicies]float64 {
+	a, s, t := st.Arrivals, st.ServiceNS, st.IntervalNS
+	busy := a * s
+	var c [NumPolicies]float64
+	c[PolicySync] = a * (p.SyncCallNS + s)
+
+	hotIdle := t - busy
+	if hotIdle < 0 {
+		hotIdle = 0
+	}
+	rho := 0.0
+	if t > 0 {
+		rho = busy / t
+	}
+	wait := func(rho, s float64) float64 {
+		if rho > p.MaxRho {
+			rho = p.MaxRho
+		}
+		return rho / (1 - rho) * s
+	}
+	c[PolicyHot] = a*(p.HotSyncNS+wait(rho, s)+s) + hotIdle
+
+	sEff := s / (1 - p.PoolBackground)
+	idle := st.WastedSpinNS
+	if !st.WasteObserved {
+		idle = p.PooledShare * hotIdle
+	}
+	c[PolicyPooled] = a*(p.PooledSyncNS+wait(rho/(1-p.PoolBackground), sEff)+sEff) + idle
+	return c
+}
+
+// Best returns the cheapest policy of a score vector (ties to the
+// lowest-numbered policy: sync before hot before pooled).
+func Best(costs [NumPolicies]float64) Policy {
+	best := Policy(0)
+	for q := Policy(1); q < NumPolicies; q++ {
+		if costs[q] < costs[best] {
+			best = q
+		}
+	}
+	return best
+}
+
+// Decision is one callsite-interval's shadow verdict: the predicted
+// cost of every policy, the declared current policy, the shadow-optimal
+// recommendation, and the regret — the core time the static choice
+// wastes against the optimum this interval.  Costs are indexed
+// [sync, hot, pooled].
+type Decision struct {
+	Site      string  `json:"site"`
+	Arrivals  uint64  `json:"arrivals"`
+	RatePerS  float64 `json:"rate_per_s"`
+	ServiceNS float64 `json:"service_ns"`
+
+	Current Policy                `json:"current"`
+	Best    Policy                `json:"best"`
+	CostsNS [NumPolicies]float64  `json:"costs_ns"` // [sync, hot, pooled]
+
+	RegretNS     float64 `json:"regret_ns"`
+	RegretCycles float64 `json:"regret_cycles"`
+}
+
+// RoutingSchema identifies the router-snapshot wire format.
+const RoutingSchema = "whatif-routing/v1"
+
+// RouterSnapshot is the shadow router's latest interval: the per-
+// callsite decisions (worst regret first) and the regret accumulators.
+type RouterSnapshot struct {
+	Schema     string `json:"schema"`
+	IntervalNS uint64 `json:"interval_ns"`
+	Intervals  uint64 `json:"intervals"` // scored intervals so far
+
+	Decisions []Decision `json:"decisions,omitempty"`
+
+	IntervalRegretCycles float64 `json:"interval_regret_cycles"`
+	CumRegretCycles      float64 `json:"cum_regret_cycles"`
+}
+
+// Worst returns the decision with the highest interval regret, or nil.
+func (s *RouterSnapshot) Worst() *Decision {
+	if s == nil || len(s.Decisions) == 0 {
+		return nil
+	}
+	return &s.Decisions[0]
+}
+
+// Router is the shadow call-router.  Declare the fabric's static
+// routing per callsite (default pooled — the fabric apps route
+// everything through the CallPool), feed it the flight recorder's stats
+// table once per monitor interval via Observe, and read back decisions
+// and regret.  It never changes any routing: it only prices the road
+// not taken.
+type Router struct {
+	mu       sync.Mutex
+	params   CostParams
+	declared map[string]Policy
+	fallback Policy
+
+	prev   map[int]flight.CallsiteStats
+	primed bool
+
+	last RouterSnapshot
+}
+
+// NewRouter returns a shadow router; a zero CostParams selects
+// DefaultCostParams.
+func NewRouter(params CostParams) *Router {
+	params.fill()
+	return &Router{
+		params:   params,
+		declared: make(map[string]Policy),
+		fallback: PolicyPooled,
+		last:     RouterSnapshot{Schema: RoutingSchema},
+	}
+}
+
+// Params returns the estimator's cost parameters.
+func (r *Router) Params() CostParams { return r.params }
+
+// Declare records a callsite's actual static routing policy.
+func (r *Router) Declare(site string, p Policy) {
+	r.mu.Lock()
+	r.declared[site] = p
+	r.mu.Unlock()
+}
+
+// DeclareDefault sets the policy assumed for undeclared callsites
+// (initially pooled).
+func (r *Router) DeclareDefault(p Policy) {
+	r.mu.Lock()
+	r.fallback = p
+	r.mu.Unlock()
+}
+
+// Observe scores one interval of the flight recorder's cumulative stats
+// table against the previous call's table.  The first call (and any
+// zero-length interval) only primes the baseline.  It returns the new
+// snapshot; Snapshot returns the same thing later.
+func (r *Router) Observe(stats []flight.CallsiteStats, intervalNS uint64) RouterSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	cur := make(map[int]flight.CallsiteStats, len(stats))
+	for _, cs := range stats {
+		cur[cs.ID] = cs
+	}
+	prev := r.prev
+	r.prev = cur
+	if !r.primed || intervalNS == 0 {
+		r.primed = true
+		r.last = RouterSnapshot{Schema: RoutingSchema, CumRegretCycles: r.last.CumRegretCycles,
+			Intervals: r.last.Intervals}
+		return r.last
+	}
+
+	snap := RouterSnapshot{
+		Schema:          RoutingSchema,
+		IntervalNS:      intervalNS,
+		Intervals:       r.last.Intervals + 1,
+		CumRegretCycles: r.last.CumRegretCycles,
+	}
+	for _, cs := range stats {
+		p := prev[cs.ID] // zero row on a callsite's first interval
+		dArr := cs.Arrivals - p.Arrivals
+		if dArr < r.params.MinCalls {
+			continue
+		}
+		service := float64(cs.ServiceP50NS)
+		if service == 0 {
+			service = float64(cs.LatencyP50NS)
+		}
+		if service == 0 {
+			continue // no latency signal yet; cannot price the interval
+		}
+		dWaste := cs.WastedSpin - p.WastedSpin
+		st := IntervalStats{
+			Site:          cs.Name,
+			Arrivals:      float64(dArr),
+			ServiceNS:     service,
+			IntervalNS:    float64(intervalNS),
+			WastedSpinNS:  dWaste * r.params.PollNS,
+			WasteObserved: dWaste > 0,
+		}
+		costs := r.params.Score(st)
+		current, ok := r.declared[cs.Name]
+		if !ok {
+			current = r.fallback
+		}
+		best := Best(costs)
+		regretNS := costs[current] - costs[best]
+		d := Decision{
+			Site:         cs.Name,
+			Arrivals:     dArr,
+			RatePerS:     st.Arrivals / (st.IntervalNS / 1e9),
+			ServiceNS:    service,
+			Current:      current,
+			Best:         best,
+			CostsNS:      costs,
+			RegretNS:     regretNS,
+			RegretCycles: regretNS * (sim.FrequencyHz / 1e9),
+		}
+		snap.Decisions = append(snap.Decisions, d)
+		snap.IntervalRegretCycles += d.RegretCycles
+	}
+	sort.Slice(snap.Decisions, func(i, j int) bool {
+		a, b := snap.Decisions[i], snap.Decisions[j]
+		if a.RegretCycles != b.RegretCycles {
+			return a.RegretCycles > b.RegretCycles
+		}
+		return a.Site < b.Site
+	})
+	snap.CumRegretCycles += snap.IntervalRegretCycles
+	r.last = snap
+	return snap
+}
+
+// Snapshot returns the latest interval's verdicts.
+func (r *Router) Snapshot() RouterSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}

@@ -1,0 +1,152 @@
+package whatif_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hotcalls/internal/flight"
+	"hotcalls/internal/whatif"
+)
+
+// threeSites is a stats table whose three callsites sit squarely in the
+// three policy regimes at a 1s interval: a 10/s trickle (sync wins — a
+// dedicated or shared spinner burns far more than the crossings save),
+// a 500k/s stream at 25% utilization (pooled wins — crossing savings
+// with amortized spin), and a 1M/s torrent at 50% utilization (hot wins
+// — pool interference costs more than a private core's idle).
+func threeSites(scale uint64) []flight.CallsiteStats {
+	return []flight.CallsiteStats{
+		{ID: 0, Name: "rare", Arrivals: 10 * scale, ServiceP50NS: 2000},
+		{ID: 1, Name: "mid", Arrivals: 500000 * scale, ServiceP50NS: 500},
+		{ID: 2, Name: "busy", Arrivals: 1000000 * scale, ServiceP50NS: 500},
+	}
+}
+
+func observeInterval(r *whatif.Router) whatif.RouterSnapshot {
+	r.Observe(threeSites(1), 0) // prime the cumulative baseline
+	return r.Observe(threeSites(2), 1e9)
+}
+
+// TestRouterOptimalNoRegret: when every callsite's declared policy is
+// the shadow-optimal one, the regret is exactly zero.
+func TestRouterOptimalNoRegret(t *testing.T) {
+	r := whatif.NewRouter(whatif.CostParams{})
+	r.Declare("rare", whatif.PolicySync)
+	r.Declare("mid", whatif.PolicyPooled)
+	r.Declare("busy", whatif.PolicyHot)
+
+	snap := observeInterval(r)
+	if len(snap.Decisions) != 3 {
+		t.Fatalf("got %d decisions, want 3: %+v", len(snap.Decisions), snap.Decisions)
+	}
+	for _, d := range snap.Decisions {
+		if d.Best != d.Current {
+			t.Errorf("%s: best %s != declared %s (costs %v)", d.Site, d.Best, d.Current, d.CostsNS)
+		}
+		if d.RegretCycles != 0 {
+			t.Errorf("%s: regret %g cycles on an optimal route", d.Site, d.RegretCycles)
+		}
+	}
+	if snap.IntervalRegretCycles != 0 || snap.CumRegretCycles != 0 {
+		t.Errorf("interval regret %g, cum %g; want 0", snap.IntervalRegretCycles, snap.CumRegretCycles)
+	}
+	if snap.Intervals != 1 {
+		t.Errorf("intervals = %d, want 1", snap.Intervals)
+	}
+}
+
+// TestRouterFlagsMisroute: route the high-rate callsite through the
+// full SDK ecall and the shadow router must name it as the worst
+// regret, recommend the hot policy, and price the regret as the cost
+// difference.
+func TestRouterFlagsMisroute(t *testing.T) {
+	r := whatif.NewRouter(whatif.CostParams{})
+	r.Declare("rare", whatif.PolicySync)
+	r.Declare("mid", whatif.PolicyPooled)
+	r.Declare("busy", whatif.PolicySync) // the deliberate mistake
+
+	snap := observeInterval(r)
+	w := snap.Worst()
+	if w == nil || w.Site != "busy" {
+		t.Fatalf("worst = %+v, want busy", w)
+	}
+	if w.Best != whatif.PolicyHot {
+		t.Errorf("recommended %s, want hot (costs %v)", w.Best, w.CostsNS)
+	}
+	if w.RegretCycles <= 0 {
+		t.Errorf("regret = %g cycles, want > 0", w.RegretCycles)
+	}
+	wantNS := w.CostsNS[whatif.PolicySync] - w.CostsNS[whatif.PolicyHot]
+	if w.RegretNS != wantNS {
+		t.Errorf("regret %g ns, want cost difference %g", w.RegretNS, wantNS)
+	}
+	if snap.CumRegretCycles != snap.IntervalRegretCycles || snap.CumRegretCycles <= 0 {
+		t.Errorf("regret accumulators: interval %g cum %g", snap.IntervalRegretCycles, snap.CumRegretCycles)
+	}
+
+	// A second identical interval doubles the cumulative regret.
+	snap2 := r.Observe(threeSites(3), 1e9)
+	if snap2.CumRegretCycles <= snap.CumRegretCycles {
+		t.Errorf("cum regret did not accumulate: %g then %g", snap.CumRegretCycles, snap2.CumRegretCycles)
+	}
+}
+
+// TestRouterWasteAttribution: observed wasted spin feeds the pooled
+// policy's idle charge, so a callsite with heavy attributed waste prices
+// pooled higher than the same callsite without it.
+func TestRouterWasteAttribution(t *testing.T) {
+	params := whatif.DefaultCostParams()
+	base := whatif.IntervalStats{Site: "s", Arrivals: 1000, ServiceNS: 2000, IntervalNS: 1e9}
+	lean := params.Score(base)
+	wasteful := base
+	wasteful.WastedSpinNS = 5e8
+	wasteful.WasteObserved = true
+	heavy := params.Score(wasteful)
+	if heavy[whatif.PolicyPooled] <= lean[whatif.PolicyPooled] {
+		t.Errorf("observed waste did not raise the pooled price: %g vs %g",
+			heavy[whatif.PolicyPooled], lean[whatif.PolicyPooled])
+	}
+	if heavy[whatif.PolicySync] != lean[whatif.PolicySync] || heavy[whatif.PolicyHot] != lean[whatif.PolicyHot] {
+		t.Errorf("waste leaked into non-pooled policies: %v vs %v", heavy, lean)
+	}
+}
+
+// TestRouterSkipsQuietAndUnmeasured: callsite-intervals below MinCalls
+// or with no latency signal are not scored.
+func TestRouterSkipsQuietAndUnmeasured(t *testing.T) {
+	params := whatif.DefaultCostParams()
+	params.MinCalls = 100
+	r := whatif.NewRouter(params)
+	r.Observe([]flight.CallsiteStats{
+		{ID: 0, Name: "quiet", ServiceP50NS: 2000},
+		{ID: 1, Name: "unmeasured"},
+	}, 0)
+	snap := r.Observe([]flight.CallsiteStats{
+		{ID: 0, Name: "quiet", Arrivals: 99, ServiceP50NS: 2000},
+		{ID: 1, Name: "unmeasured", Arrivals: 5000},
+	}, 1e9)
+	if len(snap.Decisions) != 0 {
+		t.Fatalf("scored %d callsites, want 0: %+v", len(snap.Decisions), snap.Decisions)
+	}
+}
+
+// TestPolicyJSONRoundTrip pins the wire labels.
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	for p := whatif.Policy(0); p < whatif.NumPolicies; p++ {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q whatif.Policy
+		if err := json.Unmarshal(b, &q); err != nil {
+			t.Fatal(err)
+		}
+		if q != p {
+			t.Fatalf("round trip %s -> %s", p, q)
+		}
+	}
+	var q whatif.Policy
+	if err := json.Unmarshal([]byte(`"warp"`), &q); err == nil {
+		t.Fatal("unknown policy label accepted")
+	}
+}
