@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling experiments report bench-json bench-regress profile incident-demo epc-demo whatif-demo
+.PHONY: check vet build test test-race bench-overhead monitor-overhead dist-overhead flight-overhead bench-scaling bench-zerocopy experiments report bench-json bench-regress profile incident-demo epc-demo whatif-demo
 
 # check is the CI entrypoint: vet, build, race-test the concurrency-heavy
 # packages, then the full suite.
@@ -20,7 +20,7 @@ test:
 # the fabric-routed memcached/lighttpd ports are the packages with real
 # cross-goroutine traffic; run them under the race detector.
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/epc/... ./internal/epcstat/... ./internal/whatif/... ./internal/apps/memcached/... ./internal/apps/lighttpd/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/dist/... ./internal/flight/... ./internal/incident/... ./internal/epc/... ./internal/epcstat/... ./internal/whatif/... ./internal/apps/memcached/... ./internal/apps/lighttpd/... ./internal/apps/openvpn/...
 
 # bench-overhead compares the uninstrumented HotCall path against one
 # with a live registry attached (the <5% disabled-cost budget).
@@ -69,6 +69,17 @@ flight-overhead:
 bench-scaling:
 	$(GO) run ./cmd/hotbench -run scaling
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolCall|BenchmarkSingleSlotFunnel' -benchtime 1s -count 3 ./internal/core/
+
+# bench-zerocopy runs the staged-vs-zero-copy comparison: the simulated
+# 2-32 KB crossing-cost sweep ([in,out] marshalling vs [zerocopy] ring
+# pass-through on both edges), the wall-clock fabric pairs (four-copy
+# staging vs scatter-gather descriptors, interleaved same-run ratios),
+# and the openvpn port's iperf-like streaming driver (windowed vectored
+# submit vs synchronous relay).  The sweep series lands in
+# zerocopy-sweep.csv (CI uploads it); the same ratios gate under the
+# zerocopy/* bands of bench-regress.
+bench-zerocopy:
+	$(GO) run ./cmd/hotbench -zerocopy-sweep -zerocopy-csv zerocopy-sweep.csv
 
 # bench-json regenerates the machine-readable results artifact that perf
 # changes diff against.

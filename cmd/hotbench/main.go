@@ -23,6 +23,7 @@
 //	hotbench -run incident -incident-dir incidents # postmortem-bundle demo, spooled to disk
 //	hotbench -epc-sweep -epc-svg epc-heatmap.svg # EPC oversubscription cliff + fault heatmap
 //	hotbench -whatif -whatif-json whatif.json # causal profiler validation + shadow-routing regret
+//	hotbench -zerocopy-sweep -zerocopy-csv zerocopy-sweep.csv # staged vs zero-copy ring transfer sweep
 package main
 
 import (
@@ -68,6 +69,8 @@ func main() {
 	epcSVG := flag.String("epc-svg", "", "write the epc experiment's oversubscribed fault-heatmap SVG (the /debug/epc?format=svg view) to this path")
 	whatIfFlag := flag.Bool("whatif", false, "shorthand for -run whatif: causal profiler validation, shadow-routing agreement, and the estimator overhead pair")
 	whatIfJSON := flag.String("whatif-json", "", "write the whatif experiment's report artifact (the /debug/whatif JSON body) to this path")
+	zcSweep := flag.Bool("zerocopy-sweep", false, "shorthand for -run zerocopy: the staged-vs-zero-copy transfer sweep, fabric pairs, and openvpn streaming")
+	zcCSV := flag.String("zerocopy-csv", "", "write the zerocopy experiment's sweep series CSV to this path")
 	seed := flag.Uint64("seed", 0, "base seed for every random stream; 0 (the default) reproduces the committed baseline artifacts byte for byte")
 	flag.Parse()
 
@@ -87,6 +90,13 @@ func main() {
 	}
 	if *whatIfFlag {
 		*run = "whatif"
+	}
+	if *zcCSV != "" {
+		bench.SetZeroCopyCSV(*zcCSV)
+		*zcSweep = true
+	}
+	if *zcSweep {
+		*run = "zerocopy"
 	}
 
 	if *watch {

@@ -1,0 +1,575 @@
+package openvpn
+
+// PoolServer routes the openVPN data path through the HotCalls fabric's
+// zero-copy rings (core.PayloadRing) — the real-concurrency counterpart
+// of the simulated Server above, and the fabric's first bulk-payload
+// port.  Each client connection owns one fabric shard plus a slab ring;
+// the tunnel pipeline is recvfrom→open→seal→sendto with no intermediate
+// copies: the sealed frame lands in a slab (the "NIC DMA"), the call
+// carries {slab, offset, length} descriptors — the 20-byte tunnel header
+// and the ciphertext body travel as two scatter-gather segments — and
+// the enclave-side handler authenticates, decrypts, and re-seals the
+// bytes in place.  The streaming path posts whole windows with SubmitV,
+// so a burst of datagrams pays one responder wakeup.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hotcalls/internal/core"
+	"hotcalls/internal/epc"
+	"hotcalls/internal/epcstat"
+	"hotcalls/internal/flight"
+	"hotcalls/internal/incident"
+	"hotcalls/internal/monitor"
+	"hotcalls/internal/telemetry"
+	"hotcalls/internal/whatif"
+)
+
+// opTunnel is the single vec-table entry: relay one tunnel datagram
+// (authenticate + decrypt + re-seal, all in place in the slab).
+const opTunnel core.CallID = 0
+
+// vpnWindow is the per-connection streaming window: the SubmitV batch
+// size and the number of slabs a connection keeps in flight.
+const vpnWindow = 16
+
+// slabFrameCap is the default slab size: one MTU frame plus tunnel
+// overhead, rounded to a power of two.
+const slabFrameCap = 2048
+
+// ErrWindowFull reports a submit with every slab attached to an
+// in-flight call; reap completions first.
+var ErrWindowFull = errors.New("openvpn: connection window full (no free slab)")
+
+// replayWindow is a reorder-tolerant packet-ID filter (openVPN's UDP
+// sliding window): IDs up to 63 behind the highest seen are accepted
+// once each.  The fabric needs the tolerance because concurrent
+// responders may execute a window's calls slightly out of order.
+type replayWindow struct {
+	highest uint32
+	mask    uint64 // bit i set = (highest - i) already seen
+}
+
+func (w *replayWindow) accept(id uint32) bool {
+	if id == 0 {
+		return false
+	}
+	if id > w.highest {
+		shift := id - w.highest
+		if shift >= 64 {
+			w.mask = 0
+		} else {
+			w.mask <<= shift
+		}
+		w.mask |= 1
+		w.highest = id
+		return true
+	}
+	diff := w.highest - id
+	if diff >= 64 || w.mask&(1<<diff) != 0 {
+		return false
+	}
+	w.mask |= 1 << diff
+	return true
+}
+
+// segMac computes the tunnel MAC over a scatter-gather frame — the
+// packet-ID header and the ciphertext body as two writes, no coalescing
+// copy (contrast Cipher.mac, which takes one contiguous frame).
+func segMac(c *Cipher, hdr, body []byte) [macSize]byte {
+	h := hmac.New(sha256.New, c.macKey[:])
+	h.Write(hdr)
+	h.Write(body)
+	var sum [sha256.Size]byte
+	var out [macSize]byte
+	copy(out[:], h.Sum(sum[:0]))
+	return out
+}
+
+// tunnelState is one connection's crypto context: both direction keys
+// and the receive replay window, behind the per-connection lock the
+// responders serialize on (openVPN's per-client context lock).
+type tunnelState struct {
+	mu    sync.Mutex
+	rx    *Cipher // client -> server
+	tx    *Cipher // server -> client
+	rxWin replayWindow
+	_     [tunnelPad]byte
+}
+
+// tunnelPad keeps adjacent connections' locks off one coherence line.
+const tunnelPad = 64
+
+// connCiphers derives connection i's deterministic direction keys (a
+// deployment would run the TLS control channel instead).
+func connCiphers(i int) (rx, tx *Cipher) {
+	var ck [16]byte
+	var mk [32]byte
+	copy(ck[:], "tunnel-cipher-k!")
+	copy(mk[:], "tunnel-hmac-key-tunnel-hmac-key-")
+	ck[15] = byte(i)
+	mk[31] = byte(i)
+	rx = NewCipher(ck, mk)
+	ck[14] ^= 0xa5 // distinct key per direction
+	tx = NewCipher(ck, mk)
+	return rx, tx
+}
+
+// PoolServer is the openVPN relay over the fabric: a CallPool whose one
+// vec-table entry relays tunnel datagrams in place in the payload rings.
+type PoolServer struct {
+	pool    *core.CallPool
+	conns   []*PoolConn
+	tunnels []*tunnelState
+
+	reg    *telemetry.Registry
+	mon    *monitor.Monitor
+	cap    *incident.Capturer
+	whatIf *whatif.Observatory
+
+	// EPC paging model (EnableEPC): the handler touches the enclave
+	// pages backing each slab window it processes, owner-tagged by
+	// connection, so the observatory attributes ring-payload pressure
+	// per client.
+	epcMgr  *epc.Manager
+	epcStat *epcstat.Collector
+
+	csForward, csStream flight.Callsite
+}
+
+// NewPoolServer builds a fabric-routed tunnel relay for up to conns
+// client connections.  opts tunes the underlying CallPool; Shards is
+// overridden to the connection count, and the zero-copy rings default to
+// 2x the streaming window of MTU-sized slabs per connection.
+func NewPoolServer(conns int, opts core.PoolOptions) *PoolServer {
+	s := &PoolServer{}
+	opts.Shards = conns
+	if opts.RingSlabs == 0 {
+		opts.RingSlabs = 2 * vpnWindow
+	}
+	if opts.RingSlabBytes == 0 {
+		opts.RingSlabBytes = slabFrameCap
+	}
+	s.pool = core.NewCallPool([]core.PoolFunc{
+		// The tunnel has no scalar-only path; a descriptor-less call is
+		// malformed by construction.
+		func(int, uint64) uint64 { return ^uint64(0) },
+	}, opts)
+	s.pool.SetVecTable([]core.PoolVecFunc{s.tunnel})
+	s.conns = make([]*PoolConn, conns)
+	s.tunnels = make([]*tunnelState, conns)
+	for i := range s.conns {
+		rx, tx := connCiphers(i)
+		s.tunnels[i] = &tunnelState{rx: rx, tx: tx}
+		// The remote peer's view of the same keys: it seals with the
+		// rx direction and verifies the relay's output with tx.
+		peerSeal, _ := connCiphers(i)
+		_, peerVerify := connCiphers(i)
+		c := &PoolConn{s: s, idx: i, req: s.pool.Requester(),
+			peerSeal: peerSeal, peerVerify: peerVerify}
+		c.ring = c.req.Ring()
+		c.ring.SetTouch(s.ringTouch(i))
+		s.conns[i] = c
+	}
+	return s
+}
+
+// SetTelemetry attaches the fabric's registry handles.  Call before
+// Start.
+func (s *PoolServer) SetTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	s.pool.SetTelemetry(reg)
+}
+
+// SetFlight attaches the flight recorder to the fabric and registers the
+// per-path callsites: the synchronous forward path and the vectored
+// streaming path show as separate rows, each with its payload byte
+// volume (flight_callsite_bytes_total).  Call before Start.
+func (s *PoolServer) SetFlight(rec *flight.Recorder) {
+	s.pool.SetFlight(rec)
+	s.csForward = rec.Callsite("vpn.forward")
+	s.csStream = rec.Callsite("vpn.stream")
+}
+
+// enclavePageSpan sizes the modeled enclave heap in multiples of the EPC
+// capacity, as the memcached port does.
+const enclavePageSpan = 16
+
+// EnableEPC attaches a simulated EPC of the given capacity (bytes;
+// <= one page selects epc.DefaultCapacityBytes) plus its pressure
+// observatory.  The tunnel handler then touches the pages behind every
+// slab window it relays, owner-tagged by connection, so /debug/epc and
+// the EPC monitor rules attribute ring-payload paging per client.  Call
+// after SetTelemetry and before EnableMonitor/DebugMux; idempotent.
+func (s *PoolServer) EnableEPC(capacityBytes int) *epcstat.Collector {
+	if s.epcStat == nil {
+		if capacityBytes <= epc.PageSize {
+			capacityBytes = epc.DefaultCapacityBytes
+		}
+		var sealKey [16]byte
+		copy(sealKey[:], "vpn-epc-zc-rings")
+		s.epcMgr = epc.NewManager(capacityBytes, sealKey)
+		if s.reg != nil {
+			s.epcMgr.SetTelemetry(s.reg)
+		}
+		s.epcStat = epcstat.New(epcstat.Options{})
+		s.epcStat.Attach(s.epcMgr)
+		for i := range s.conns {
+			s.epcStat.SetLabel(epc.OwnerID(i+1), fmt.Sprintf("conn%d", i))
+		}
+	}
+	return s.epcStat
+}
+
+// EPCManager exposes the simulated EPC (nil until EnableEPC).
+func (s *PoolServer) EPCManager() *epc.Manager { return s.epcMgr }
+
+// ringTouch builds connection i's slab-page attribution hook
+// (core.PayloadRing.SetTouch): a touched slab window maps to simulated
+// enclave pages charged to the connection's owner ID.  No-op until
+// EnableEPC.
+func (s *PoolServer) ringTouch(conn int) func(slab uint32, off, n int) {
+	return func(slab uint32, off, n int) {
+		if s.epcMgr == nil || n == 0 {
+			return
+		}
+		span := uint64(enclavePageSpan * s.epcMgr.CapacityPages())
+		base := (uint64(conn+1)*0x9e3779b97f4a7c15 + uint64(slab)*8 +
+			uint64(off)/epc.PageSize) % span
+		pages := uint64(n+epc.PageSize-1) / epc.PageSize
+		owner := epc.OwnerID(conn + 1)
+		for p := uint64(0); p < pages; p++ {
+			s.epcMgr.TouchAs(owner, (base+p)%span)
+		}
+	}
+}
+
+// EnableWhatIf attaches the causal what-if observatory; both tunnel
+// callsites are declared pooled (that is how PoolServer routes), and
+// with the flight recorder's byte volume attached the router's cost
+// model now separates per-call from per-byte cycles.  Call after
+// SetFlight and before EnableMonitor/DebugMux; idempotent.
+func (s *PoolServer) EnableWhatIf(params whatif.CostParams) *whatif.Observatory {
+	if s.whatIf == nil {
+		s.whatIf = whatif.NewObservatory(params)
+		r := s.whatIf.Router()
+		r.DeclareDefault(whatif.PolicyPooled)
+		r.Declare("vpn.forward", whatif.PolicyPooled)
+		r.Declare("vpn.stream", whatif.PolicyPooled)
+	}
+	return s.whatIf
+}
+
+// WhatIf exposes the what-if observatory (nil until EnableWhatIf).
+func (s *PoolServer) WhatIf() *whatif.Observatory { return s.whatIf }
+
+// EnableMonitor attaches a health monitor over the fabric's registry,
+// wiring in whichever collectors are enabled.  Idempotent.
+func (s *PoolServer) EnableMonitor(opts monitor.Options) *monitor.Monitor {
+	if s.mon == nil {
+		if opts.Flight == nil {
+			opts.Flight = s.pool.Flight()
+		}
+		if opts.EPC == nil {
+			opts.EPC = s.epcStat
+		}
+		if opts.WhatIf == nil {
+			opts.WhatIf = s.whatIf
+		}
+		s.mon = monitor.New(s.reg, opts)
+	}
+	return s.mon
+}
+
+// EnableIncidents attaches an incident capturer to the monitor (enabling
+// the monitor with defaults if needed).  Idempotent.
+func (s *PoolServer) EnableIncidents(opts incident.Options) *incident.Capturer {
+	if s.cap == nil {
+		if opts.Registry == nil {
+			opts.Registry = s.reg
+		}
+		s.cap = incident.New(s.EnableMonitor(monitor.Options{}), opts)
+		s.cap.Attach()
+	}
+	return s.cap
+}
+
+// DebugMux serves the fabric's observability surface: /metrics, the
+// /debug/ index, and — per enabled collector — /debug/flight,
+// /debug/epc, /debug/whatif, and /debug/incidents.
+func (s *PoolServer) DebugMux() *monitor.DebugMux {
+	mux := monitor.Mux(s.reg, s.EnableMonitor(monitor.Options{}))
+	mux.HandleEntry("/debug/incidents", "frozen postmortem bundles (rule transitions)",
+		incident.Handler(s.EnableIncidents(incident.Options{})))
+	return mux
+}
+
+// Pool exposes the underlying CallPool (responder bounds, stats).
+func (s *PoolServer) Pool() *core.CallPool { return s.pool }
+
+// Start launches the adaptive responder pool.
+func (s *PoolServer) Start() { s.pool.Start() }
+
+// Stop shuts the fabric down.
+func (s *PoolServer) Stop() { s.pool.Stop() }
+
+// Conn returns connection i's handle.  Each connection must be driven
+// from one goroutine at a time.
+func (s *PoolServer) Conn(i int) *PoolConn { return s.conns[i] }
+
+// tunnel is the enclave-side vec handler: authenticate, replay-check,
+// and decrypt the inbound frame in place, then re-seal it for the
+// outbound direction — all in the two slab windows the descriptors
+// reference, with zero copies.  Returns the outbound frame length, or
+// the ^0 sentinel on a malformed or unauthentic datagram.
+func (s *PoolServer) tunnel(requester int, data uint64, segs []core.Segment) uint64 {
+	if len(segs) != 2 || segs[0].Len != FrameOverhead {
+		return ^uint64(0)
+	}
+	ring := s.pool.Ring(requester)
+	hdr := ring.Bytes(segs[0])
+	body := ring.Bytes(segs[1])
+	ring.Touch(segs[0])
+	ring.Touch(segs[1])
+
+	t := s.tunnels[requester]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	id := binary.BigEndian.Uint32(hdr[:packetIDSize])
+	want := segMac(t.rx, hdr[:packetIDSize], body)
+	if !hmac.Equal(want[:], hdr[packetIDSize:FrameOverhead]) {
+		return ^uint64(0)
+	}
+	if !t.rxWin.accept(id) {
+		return ^uint64(0)
+	}
+	// Decrypt in place: the ciphertext window becomes the plaintext
+	// window (CTR XOR permits exact aliasing).
+	t.rx.stream(id).XORKeyStream(body, body)
+
+	// Re-seal for the outbound direction in place: fresh packet ID,
+	// re-encrypt, recompute the MAC into the same header window.
+	oid := t.tx.nextID
+	t.tx.nextID++
+	binary.BigEndian.PutUint32(hdr[:packetIDSize], oid)
+	t.tx.stream(oid).XORKeyStream(body, body)
+	mac := segMac(t.tx, hdr[:packetIDSize], body)
+	copy(hdr[packetIDSize:FrameOverhead], mac[:])
+	return uint64(FrameOverhead) + uint64(len(body))
+}
+
+// PoolConn is one client connection: a fabric requester, its payload
+// ring, and the remote peer's crypto contexts (the test traffic
+// generator seals inbound frames and verifies relayed output).
+type PoolConn struct {
+	s    *PoolServer
+	idx  int
+	req  *core.Requester
+	ring *core.PayloadRing
+
+	peerSeal   *Cipher // peer's sealer: client -> server direction
+	peerVerify *Cipher // peer's receive keys: server -> client direction
+	peerWin    replayWindow
+
+	calls [vpnWindow]core.VecCall
+	segs  [vpnWindow][2]core.Segment
+	slabs [vpnWindow]uint32
+}
+
+// sealInto plays the NIC: the peer's sealed frame lands directly in a
+// ring slab, split into header and body descriptors.
+func (c *PoolConn) sealInto(payload []byte) (slab uint32, segs [2]core.Segment, err error) {
+	s, buf, ok := c.ring.Acquire()
+	if !ok {
+		return 0, segs, ErrWindowFull
+	}
+	frameLen := c.peerSeal.Seal(buf, payload)
+	segs[0] = core.Segment{Slab: s, Off: 0, Len: FrameOverhead}
+	segs[1] = core.Segment{Slab: s, Off: FrameOverhead, Len: uint32(frameLen - FrameOverhead)}
+	return s, segs, nil
+}
+
+// verifyOut authenticates and decrypts one relayed output frame with
+// the peer's receive context (reorder-tolerant: concurrent responders
+// may commit a window slightly out of order) and checks the payload
+// round-tripped.
+func (c *PoolConn) verifyOut(frame, payload []byte) error {
+	if len(frame) != FrameOverhead+len(payload) {
+		return ErrShortPkt
+	}
+	id := binary.BigEndian.Uint32(frame[:packetIDSize])
+	want := segMac(c.peerVerify, frame[:packetIDSize], frame[FrameOverhead:])
+	if !hmac.Equal(want[:], frame[packetIDSize:FrameOverhead]) {
+		return ErrBadMAC
+	}
+	if !c.peerWin.accept(id) {
+		return ErrReplay
+	}
+	out := make([]byte, len(payload))
+	c.peerVerify.stream(id).XORKeyStream(out, frame[FrameOverhead:])
+	for i := range out {
+		if out[i] != payload[i] {
+			return fmt.Errorf("openvpn: payload corrupted at byte %d", i)
+		}
+	}
+	return nil
+}
+
+// Forward relays one datagram synchronously: seal into a slab, one
+// zero-copy scatter-gather call, verify the re-sealed output read
+// straight from the slab, recycle.  Returns the outbound frame length.
+func (c *PoolConn) Forward(payload []byte) (int, error) {
+	slab, segs, err := c.sealInto(payload)
+	if err != nil {
+		return 0, err
+	}
+	ret, err := c.req.CallZCAt(c.s.csForward, opTunnel, 0, segs[:])
+	if err != nil {
+		c.ring.Release(slab)
+		return 0, err
+	}
+	if ret == ^uint64(0) {
+		c.ring.Release(slab)
+		return 0, ErrBadMAC
+	}
+	verr := c.verifyOut(c.ring.Slab(slab)[:ret], payload)
+	c.ring.Release(slab)
+	if verr != nil {
+		return 0, verr
+	}
+	return int(ret), nil
+}
+
+// Stream relays a window of datagrams with one vectored submit (single
+// responder wakeup, batched tail claim), verifying every relayed frame.
+// Returns how many datagrams were relayed.
+func (c *PoolConn) Stream(payloads [][]byte) (int, error) {
+	if len(payloads) > vpnWindow {
+		payloads = payloads[:vpnWindow]
+	}
+	n := 0
+	for _, p := range payloads {
+		slab, segs, err := c.sealInto(p)
+		if err != nil {
+			break
+		}
+		c.slabs[n] = slab
+		c.segs[n] = segs
+		c.calls[n] = core.VecCall{ID: opTunnel, Segs: c.segs[n][:]}
+		n++
+	}
+	if n == 0 {
+		return 0, ErrWindowFull
+	}
+	release := func(from int) {
+		for i := from; i < n; i++ {
+			c.ring.Release(c.slabs[i])
+		}
+	}
+	b, err := c.req.SubmitVAt(c.s.csStream, c.calls[:n])
+	if b == nil {
+		release(0)
+		return 0, err
+	}
+	done := b.Len() // WaitAll recycles the handle; capture first
+	var rets [vpnWindow]uint64
+	werr := b.WaitAll(rets[:done])
+	for i := 0; i < done; i++ {
+		if werr == nil && rets[i] != ^uint64(0) {
+			if verr := c.verifyOut(c.ring.Slab(c.slabs[i])[:rets[i]], payloads[i]); verr != nil && werr == nil {
+				werr = verr
+			}
+		} else if werr == nil {
+			werr = ErrBadMAC
+		}
+	}
+	release(0)
+	if werr != nil {
+		return done, werr
+	}
+	if err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// PumpSync is Pump's synchronous counterpart: the same relay traffic
+// driven one datagram at a time — seal, one zero-copy call, recycle —
+// with no windowing and no per-frame verification.  The streaming
+// experiment interleaves it with Pump; the same-run ratio isolates what
+// vectored submit buys on top of the zero-copy path.
+func (c *PoolConn) PumpSync(payload []byte, count int) (uint64, error) {
+	var total uint64
+	for i := 0; i < count; i++ {
+		slab, segs, err := c.sealInto(payload)
+		if err != nil {
+			return total, err
+		}
+		ret, err := c.req.CallZCAt(c.s.csForward, opTunnel, 0, segs[:])
+		c.ring.Release(slab)
+		if err != nil {
+			return total, err
+		}
+		if ret != ^uint64(0) {
+			total += ret
+		}
+	}
+	return total, nil
+}
+
+// Pump is the measurement path (the iperf-like streaming driver): relay
+// count copies of payload in full vectored windows, recycling slabs
+// through the batch handles, with no per-frame verification.  Returns
+// total outbound frame bytes relayed.
+func (c *PoolConn) Pump(payload []byte, count int) (uint64, error) {
+	var total uint64
+	for count > 0 {
+		n := 0
+		for n < vpnWindow && n < count {
+			slab, segs, err := c.sealInto(payload)
+			if err != nil {
+				break
+			}
+			c.slabs[n] = slab
+			c.segs[n] = segs
+			c.calls[n] = core.VecCall{ID: opTunnel, Segs: c.segs[n][:]}
+			n++
+		}
+		if n == 0 {
+			return total, ErrWindowFull
+		}
+		b, err := c.req.SubmitVAt(c.s.csStream, c.calls[:n])
+		if b == nil {
+			for i := 0; i < n; i++ {
+				c.ring.Release(c.slabs[i])
+			}
+			return total, err
+		}
+		// Slabs of posted calls recycle through the batch; a partial
+		// post (timeout mid-window) hands the rest back directly.
+		for i := 0; i < b.Len(); i++ {
+			b.RecycleSlab(c.ring, c.slabs[i])
+		}
+		for i := b.Len(); i < n; i++ {
+			c.ring.Release(c.slabs[i])
+		}
+		posted := b.Len() // WaitAll recycles the handle; capture first
+		var rets [vpnWindow]uint64
+		if werr := b.WaitAll(rets[:posted]); werr != nil {
+			return total, werr
+		}
+		for i := 0; i < posted; i++ {
+			if rets[i] != ^uint64(0) {
+				total += rets[i]
+			}
+		}
+		count -= n
+	}
+	return total, nil
+}

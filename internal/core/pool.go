@@ -59,11 +59,16 @@ const (
 
 // poolSlot is one call cell.  Layout matters:
 //
-//	line 0 (requester-written): state, id, data.  The state word is the
-//	  handoff flag both sides read, but only the requester and the one
-//	  claiming responder ever write it, one store each per call.
-//	line 1 (responder-written): ret.  Kept off line 0 so the responder
-//	  storing a result does not invalidate the line a pipelining
+//	line 0 (requester-written): state, id, data, nseg.  The state word is
+//	  the handoff flag both sides read, but only the requester and the
+//	  one claiming responder ever write it, one store each per call.
+//	  nseg rides here so the 0-segment legacy path clears it on a line it
+//	  is already writing, never touching line 1.
+//	line 1 (requester-written): the scatter-gather descriptor block
+//	  (ring.go).  Only zero-copy calls write it; the slotPosted release
+//	  store on line 0 is its publication fence, exactly as for fr.
+//	line 2 (responder-written): ret.  Kept off the requester lines so the
+//	  responder storing a result does not invalidate a line a pipelining
 //	  requester is concurrently posting its next call on.
 //
 // fr is the call's flight record (nil on unsampled calls or with the
@@ -77,7 +82,10 @@ type poolSlot struct {
 	id    CallID
 	data  uint64
 	fr    *flight.Record
-	_     [cacheLine - 32]byte
+	nseg  uint32
+	_     [cacheLine - 36]byte
+	segs  [MaxSegs]Segment
+	_     [cacheLine - 12*MaxSegs]byte
 	ret   uint64
 	_     [cacheLine - 8]byte
 }
@@ -150,6 +158,16 @@ type PoolOptions struct {
 	// spin→yield→sleep backoff ladder of Section 4.2's idle story.
 	SpinPasses  int
 	YieldPasses int
+
+	// RingSlabs enables the zero-copy payload rings (ring.go): each
+	// requester shard gets this many fixed-size slabs carved from one
+	// shared allocation at pool construction (default 0 — no rings).
+	RingSlabs int
+
+	// RingSlabBytes is the slab size (default 64 KiB when rings are
+	// enabled).  A scatter-gather segment never crosses a slab, so this
+	// bounds the largest single zero-copy transfer unit.
+	RingSlabBytes int
 }
 
 func (o *PoolOptions) fill() {
@@ -193,6 +211,9 @@ func (o *PoolOptions) fill() {
 	if o.YieldPasses <= 0 {
 		o.YieldPasses = 64
 	}
+	if o.RingSlabs > 0 && o.RingSlabBytes <= 0 {
+		o.RingSlabBytes = 64 << 10
+	}
 }
 
 // CallPool is the fabric: sharded slot rings on the requester side, an
@@ -203,6 +224,14 @@ type CallPool struct {
 	opts   PoolOptions
 	shards []*shard
 	table  []PoolFunc
+
+	// vtable is the scatter-gather call table (SetVecTable); a posted
+	// slot with nseg > 0 dispatches here instead of table.
+	vtable []PoolVecFunc
+
+	// rings holds one zero-copy payload ring per shard, nil unless
+	// PoolOptions.RingSlabs > 0 (see ring.go).
+	rings []*PayloadRing
 
 	nextShard atomic.Int32
 	stopped   atomic.Bool
@@ -227,6 +256,7 @@ type CallPool struct {
 	ctrlExecutes uint64
 
 	pendingPool sync.Pool
+	batchPool   sync.Pool
 
 	// flight is the per-callsite flight recorder, nil until SetFlight.
 	// The hot path pays one nil-check when detached; when attached,
@@ -261,12 +291,25 @@ func NewCallPool(table []PoolFunc, opts PoolOptions) *CallPool {
 			mask:  uint64(opts.SlotsPerShard - 1),
 		}
 	}
+	if opts.RingSlabs > 0 {
+		p.rings = make([]*PayloadRing, opts.Shards)
+		for i := range p.rings {
+			p.rings[i] = newPayloadRing(opts.RingSlabs, opts.RingSlabBytes)
+		}
+	}
 	p.minR.Store(int32(opts.MinResponders))
 	p.maxR.Store(int32(opts.MaxResponders))
 	p.target.Store(int32(opts.MinResponders))
 	p.pendingPool.New = func() any { return new(PoolPending) }
+	p.batchPool.New = func() any { return new(PoolBatch) }
 	return p
 }
+
+// SetVecTable attaches the scatter-gather call table: entry id handles
+// zero-copy calls posted with CallZC/SubmitZC/SubmitV segments.  The id
+// space is independent of the plain table (a slot's segment count picks
+// the table).  Attach before Start.
+func (p *CallPool) SetVecTable(vt []PoolVecFunc) { p.vtable = vt }
 
 // SetTelemetry attaches the fabric's counters and gauges from the
 // registry: submission traffic, responder economics (the same
@@ -382,6 +425,10 @@ func (r *Requester) post(cs flight.Callsite, id CallID, data uint64) (*poolSlot,
 				// so a slot never carries a stale record across reuse.
 				s.fr = fr
 			}
+			// Clear the segment count so a reused slot never replays a
+			// prior zero-copy call's descriptors; nseg lives on this
+			// line, so the store costs no extra coherence traffic.
+			s.nseg = 0
 			s.state.Store(slotPosted)
 			sh.head++
 			if p.sleepers.Load() != 0 {
@@ -462,6 +509,36 @@ type PoolPending struct {
 	pool *CallPool
 	slot *poolSlot
 	fr   *flight.Record
+
+	// Slab-recycle attachment (RecycleSlab): slabs given back to ring
+	// when the completion is reaped.  A call references at most MaxSegs
+	// distinct slabs, so a fixed array keeps the handle allocation-free.
+	ring   *PayloadRing
+	rslab  [MaxSegs]uint32
+	nrslab uint8
+}
+
+// RecycleSlab attaches a slab to the pending call: it returns to ring's
+// free list when Poll or Wait reaps the completion.  Duplicates are
+// deduplicated so every segment of a scatter-gather call may be
+// attached without double-releasing a shared slab.
+func (pd *PoolPending) RecycleSlab(ring *PayloadRing, slab uint32) {
+	for i := 0; i < int(pd.nrslab); i++ {
+		if pd.rslab[i] == slab {
+			return
+		}
+	}
+	pd.ring = ring
+	pd.rslab[pd.nrslab] = slab
+	pd.nrslab++
+}
+
+// releaseSlabs returns attached slabs to their ring.  Runs on the
+// requester goroutine (Poll/Wait), which owns the free list.
+func (pd *PoolPending) releaseSlabs() {
+	for i := 0; i < int(pd.nrslab); i++ {
+		pd.ring.Release(pd.rslab[i])
+	}
 }
 
 // Submit plants a call without waiting.  Up to SlotsPerShard calls may
@@ -497,11 +574,13 @@ func (pd *PoolPending) Poll() (uint64, error) {
 			pd.pool.flight.Complete(pd.fr)
 		}
 		s.state.Store(slotIdle)
+		pd.releaseSlabs()
 		pd.release()
 		return ret, nil
 	}
 	if pd.pool.stopped.Load() {
 		pd.pool.flight.Stopped(pd.fr)
+		pd.releaseSlabs()
 		pd.release()
 		return 0, ErrStopped
 	}
@@ -524,5 +603,7 @@ func (pd *PoolPending) release() {
 	pd.pool = nil
 	pd.slot = nil
 	pd.fr = nil
+	pd.ring = nil
+	pd.nrslab = 0
 	pool.pendingPool.Put(pd)
 }

@@ -1,0 +1,393 @@
+package core
+
+// This file is the fabric's zero-copy bulk-transfer layer: pre-registered
+// payload rings, scatter-gather descriptors, and vectored submit.
+//
+// The base fabric (pool.go) moves one typed uint64 per call; anything
+// larger pays the SDK's per-byte staging copies (internal/sdk/staging.go),
+// which is exactly the overhead the paper's Figure 6 charges growing
+// buffers with.  The zero-copy path removes the copies instead of
+// accelerating them:
+//
+//   - PayloadRing: a per-requester pool of fixed-size slabs carved from
+//     one untrusted shared allocation at pool construction.  The
+//     requester writes payload bytes into a slab it owns and posts a
+//     {slab, offset, length} descriptor; the responder reads and writes
+//     the bytes in place.  Slab ownership follows the slot protocol the
+//     fabric already has — the requester's slotPosted release store
+//     publishes the payload bytes along with the descriptors, and the
+//     responder's slotDone store publishes any in-place results — so the
+//     bytes need no synchronization of their own.
+//
+//   - Segment: one {slab, offset, length} descriptor.  A call carries up
+//     to MaxSegs of them (scatter-gather), so a protocol header and a
+//     payload body travel as two references instead of one coalescing
+//     copy.
+//
+//   - SubmitV: vectored submit.  A window of calls is posted with one
+//     slot release-store each but a single sleeper check and responder
+//     wakeup, and the responder side (scale.go) claims the whole posted
+//     run with one tail CAS — amortizing the claim path the way the
+//     paper amortizes EENTER across batched calls.
+//
+// The free-slab list is owned by the requester goroutine alone (plain
+// fields, no atomics), mirroring the shard head cursor.  Slabs attached
+// to a pending call via RecycleSlab are released when the completion is
+// reaped (Poll/Wait/WaitAll), which is what lets a pipelined packet path
+// recycle its buffer exactly when the last call touching it completes.
+
+import "hotcalls/internal/flight"
+
+// MaxSegs is the scatter-gather limit per call: enough for a
+// header+body+trailer split while keeping the descriptor block on one
+// requester-written cache line of the slot.
+const MaxSegs = 4
+
+// Segment is one zero-copy payload reference: Len bytes starting Off
+// into the requester's slab Slab.
+type Segment struct {
+	Slab uint32
+	Off  uint32
+	Len  uint32
+}
+
+// PoolVecFunc is a scatter-gather call-table entry.  segs aliases the
+// call slot's descriptor block and is valid only until the handler
+// returns; the referenced bytes live in the requester's PayloadRing
+// (pool.Ring(requester)) and may be read and written in place.
+type PoolVecFunc func(requester int, data uint64, segs []Segment) uint64
+
+// PayloadRing is one requester's slab pool.  All methods except the
+// responder-side addressing helpers (Slab, Bytes) must be called from
+// the owning requester goroutine only; the free list is deliberately
+// unsynchronized, like the shard's head cursor.
+type PayloadRing struct {
+	mem       []byte   // one contiguous carve, sliced into slabs
+	slabs     [][]byte // slab i is mem[i*slabBytes : (i+1)*slabBytes]
+	free      []uint32 // LIFO free list; requester-owned
+	slabBytes int
+
+	// touch, when set, attributes byte accesses to an owner — the hook
+	// the EPC observatory uses to tag slab pages (see SetTouch).
+	touch func(slab uint32, off, n int)
+}
+
+func newPayloadRing(nslabs, slabBytes int) *PayloadRing {
+	pr := &PayloadRing{
+		mem:       make([]byte, nslabs*slabBytes),
+		slabs:     make([][]byte, nslabs),
+		free:      make([]uint32, 0, nslabs),
+		slabBytes: slabBytes,
+	}
+	for i := 0; i < nslabs; i++ {
+		pr.slabs[i] = pr.mem[i*slabBytes : (i+1)*slabBytes : (i+1)*slabBytes]
+		// Push in reverse so Acquire hands out slab 0 first.
+		pr.free = append(pr.free, uint32(nslabs-1-i))
+	}
+	return pr
+}
+
+// SlabBytes returns the fixed slab size.
+func (pr *PayloadRing) SlabBytes() int { return pr.slabBytes }
+
+// Slabs returns the slab count.
+func (pr *PayloadRing) Slabs() int { return len(pr.slabs) }
+
+// FreeSlabs returns how many slabs are currently unclaimed.
+func (pr *PayloadRing) FreeSlabs() int { return len(pr.free) }
+
+// Acquire pops a free slab, returning its index and byte window.  ok is
+// false when every slab is attached to an in-flight call — the caller's
+// window is full and it must reap completions first (the same
+// backpressure story as a full slot ring).
+func (pr *PayloadRing) Acquire() (slab uint32, buf []byte, ok bool) {
+	n := len(pr.free)
+	if n == 0 {
+		return 0, nil, false
+	}
+	slab = pr.free[n-1]
+	pr.free = pr.free[:n-1]
+	return slab, pr.slabs[slab], true
+}
+
+// Release returns a slab to the free list.  Must only be called by the
+// owning requester, and only after every call referencing the slab has
+// been reaped.
+func (pr *PayloadRing) Release(slab uint32) {
+	pr.free = append(pr.free, slab)
+}
+
+// Slab addresses one slab's full byte window.  Safe from the responder:
+// the slot handoff protocol orders all accesses.
+func (pr *PayloadRing) Slab(slab uint32) []byte { return pr.slabs[slab] }
+
+// Bytes addresses the window a segment describes.
+func (pr *PayloadRing) Bytes(seg Segment) []byte {
+	return pr.slabs[seg.Slab][seg.Off : uint64(seg.Off)+uint64(seg.Len)]
+}
+
+// SetTouch installs the byte-access attribution hook.  The EPC pressure
+// observatory's owner tagging rides through here: the openvpn port, for
+// example, installs a closure that maps a touched slab window to its
+// simulated EPC pages and charges them to the connection's owner ID.
+func (pr *PayloadRing) SetTouch(fn func(slab uint32, off, n int)) { pr.touch = fn }
+
+// Touch attributes one segment's byte window through the installed hook
+// (no-op when detached).
+func (pr *PayloadRing) Touch(seg Segment) {
+	if pr.touch != nil {
+		pr.touch(seg.Slab, int(seg.Off), int(seg.Len))
+	}
+}
+
+// Ring returns the payload ring bound to a requester shard (nil when the
+// pool was built without rings).  Handlers use this to address the
+// segments they receive.
+func (p *CallPool) Ring(requester int) *PayloadRing {
+	if p.rings == nil {
+		return nil
+	}
+	return p.rings[requester]
+}
+
+// Ring returns this requester's payload ring (nil when the pool was
+// built without rings; see PoolOptions.RingSlabs).
+func (r *Requester) Ring() *PayloadRing { return r.pool.Ring(r.idx) }
+
+// segTotal sums a descriptor list's byte length.
+func segTotal(segs []Segment) (n uint64) {
+	for i := range segs {
+		n += uint64(segs[i].Len)
+	}
+	return n
+}
+
+// postZC is post with scatter-gather descriptors: identical slot
+// protocol, plus the descriptor block written on its own
+// requester-owned line before the slotPosted release store that
+// publishes slab bytes and descriptors together.  signal=false defers
+// the sleeper wakeup to the caller (SubmitV's single-wakeup batching).
+// Payload bytes are counted per callsite for the flight recorder, so
+// the what-if router can price per-byte cost (len(segs) must be in
+// [1, MaxSegs]; Call/Submit cover the 0-segment case).
+func (r *Requester) postZC(cs flight.Callsite, id CallID, data uint64, segs []Segment, signal bool) (*poolSlot, *flight.Record, error) {
+	p := r.pool
+	sh := r.shard
+	p.requests.Inc()
+	var fr *flight.Record
+	if f := p.flight; f != nil {
+		total := segTotal(segs)
+		f.AddBytes(cs, r.idx, total)
+		if f.Arrive(cs, r.idx) {
+			fr = f.Open(cs, r.idx, uint16(id))
+			fr.SetBytes(total)
+			fr.Context(int(sh.head-sh.tail.Load()), int(p.live.Load()), int(p.sleepers.Load()))
+		}
+	}
+	for attempt := 0; attempt < p.opts.Timeout; attempt++ {
+		if p.stopped.Load() {
+			p.flight.Stopped(fr)
+			return nil, nil, ErrStopped
+		}
+		s := &sh.slots[sh.head&sh.mask]
+		if s.state.Load() == slotIdle {
+			s.id = id
+			s.data = data
+			if p.flight != nil {
+				s.fr = fr
+			}
+			s.nseg = uint32(len(segs))
+			copy(s.segs[:], segs)
+			s.state.Store(slotPosted)
+			sh.head++
+			if signal && p.sleepers.Load() != 0 {
+				p.wake.Signal()
+			}
+			return s, fr, nil
+		}
+		pause()
+	}
+	p.timeouts.Inc()
+	p.flight.Timeout(cs, r.idx, fr)
+	return nil, nil, ErrTimeout
+}
+
+// CallZC executes a scatter-gather call and waits for the result: the
+// responder's vec-table handler reads and writes the referenced slab
+// windows in place, with no per-byte copy on either side.  See CallZCAt
+// for flight attribution.
+func (r *Requester) CallZC(id CallID, data uint64, segs []Segment) (uint64, error) {
+	return r.CallZCAt(flight.Callsite{}, id, data, segs)
+}
+
+// CallZCAt is CallZC stamped with a registered flight-recorder callsite.
+func (r *Requester) CallZCAt(cs flight.Callsite, id CallID, data uint64, segs []Segment) (uint64, error) {
+	s, fr, err := r.postZC(cs, id, data, segs, true)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if s.state.Load() == slotDone {
+			ret := s.ret
+			if fr != nil {
+				r.pool.flight.Complete(fr)
+			}
+			s.state.Store(slotIdle)
+			return ret, nil
+		}
+		if r.pool.stopped.Load() {
+			r.pool.flight.Stopped(fr)
+			return 0, ErrStopped
+		}
+		pause()
+	}
+}
+
+// SubmitZC plants a scatter-gather call without waiting.  Slabs the call
+// should give back on completion are attached with
+// PoolPending.RecycleSlab.
+func (r *Requester) SubmitZC(id CallID, data uint64, segs []Segment) (*PoolPending, error) {
+	return r.SubmitZCAt(flight.Callsite{}, id, data, segs)
+}
+
+// SubmitZCAt is SubmitZC stamped with a registered flight-recorder
+// callsite.
+func (r *Requester) SubmitZCAt(cs flight.Callsite, id CallID, data uint64, segs []Segment) (*PoolPending, error) {
+	s, fr, err := r.postZC(cs, id, data, segs, true)
+	if err != nil {
+		return nil, err
+	}
+	pd := r.pool.pendingPool.Get().(*PoolPending)
+	pd.pool = r.pool
+	pd.slot = s
+	pd.fr = fr
+	return pd, nil
+}
+
+// VecCall is one entry of a vectored submit window.
+type VecCall struct {
+	ID   CallID
+	Data uint64
+	// Segs is the call's scatter-gather list (nil for a plain uint64
+	// call riding the batch).
+	Segs []Segment
+}
+
+// SubmitV posts a window of calls as one batch: every call is published
+// with its own slot release store, but the sleeper check and responder
+// wakeup happen once for the whole window, and the responder claims the
+// posted run with a single tail CAS (scale.go).  See SubmitVAt.
+func (r *Requester) SubmitV(calls []VecCall) (*PoolBatch, error) {
+	return r.SubmitVAt(flight.Callsite{}, calls)
+}
+
+// SubmitVAt is SubmitV stamped with a registered flight-recorder
+// callsite.  On ErrTimeout or ErrStopped mid-window the batch returned
+// covers the calls already posted (nil only when nothing was posted);
+// the caller must still WaitAll it.
+func (r *Requester) SubmitVAt(cs flight.Callsite, calls []VecCall) (*PoolBatch, error) {
+	p := r.pool
+	sh := r.shard
+	b := p.batchPool.Get().(*PoolBatch)
+	b.pool = p
+	b.shard = sh
+	b.start = sh.head
+	b.n = 0
+	var err error
+	for i := range calls {
+		c := &calls[i]
+		if _, _, err = r.postZC(cs, c.ID, c.Data, c.Segs, false); err != nil {
+			break
+		}
+		b.n++
+	}
+	if p.sleepers.Load() != 0 && b.n > 0 {
+		p.wake.Signal()
+	}
+	if b.n == 0 {
+		b.release()
+		return nil, err
+	}
+	return b, err
+}
+
+// PoolBatch is the handle to one vectored submit window.  Handles come
+// from a sync.Pool and are recycled by WaitAll, so the steady-state
+// SubmitV/WaitAll path allocates nothing once a batch's recycle list has
+// grown to its working size.
+type PoolBatch struct {
+	pool  *CallPool
+	shard *shard
+	start uint64
+	n     int
+
+	ring   *PayloadRing
+	rslabs []uint32 // slabs to release when the batch is reaped
+}
+
+// Len returns how many calls the batch posted (smaller than the request
+// only after a mid-window timeout or stop).  Capture it before WaitAll,
+// which recycles the handle.
+func (b *PoolBatch) Len() int { return b.n }
+
+// RecycleSlab attaches a slab to the batch: it returns to ring's free
+// list when WaitAll reaps the batch.  Duplicate attachments are
+// deduplicated, so every segment of a scatter-gather window may be
+// attached without double-releasing a shared slab.
+func (b *PoolBatch) RecycleSlab(ring *PayloadRing, slab uint32) {
+	for _, have := range b.rslabs {
+		if have == slab {
+			return
+		}
+	}
+	b.ring = ring
+	b.rslabs = append(b.rslabs, slab)
+}
+
+// WaitAll blocks (yielding) until every call in the batch completes,
+// copying results into rets (when non-nil) in submission order, then
+// releases attached slabs and recycles the handle.  On ErrStopped the
+// unreaped remainder of the window is abandoned with the pool.
+func (b *PoolBatch) WaitAll(rets []uint64) error {
+	p := b.pool
+	sh := b.shard
+	var err error
+	for j := 0; j < b.n && err == nil; j++ {
+		s := &sh.slots[(b.start+uint64(j))&sh.mask]
+		for {
+			if s.state.Load() == slotDone {
+				if rets != nil && j < len(rets) {
+					rets[j] = s.ret
+				}
+				if p.flight != nil && s.fr != nil {
+					p.flight.Complete(s.fr)
+				}
+				s.state.Store(slotIdle)
+				break
+			}
+			if p.stopped.Load() {
+				if p.flight != nil {
+					p.flight.Stopped(s.fr)
+				}
+				err = ErrStopped
+				break
+			}
+			pause()
+		}
+	}
+	for _, slab := range b.rslabs {
+		b.ring.Release(slab)
+	}
+	b.release()
+	return err
+}
+
+func (b *PoolBatch) release() {
+	pool := b.pool
+	b.pool = nil
+	b.shard = nil
+	b.ring = nil
+	b.n = 0
+	b.rslabs = b.rslabs[:0]
+	pool.batchPool.Put(b)
+}

@@ -142,11 +142,23 @@ func (p *CallPool) runResponder(idx int) {
 	}
 }
 
+// maxClaimBatch bounds how many posted calls one tail CAS may claim.
+// Large enough to amortize the claim across a SubmitV window, small
+// enough that two responders sharing a hot shard still interleave.
+const maxClaimBatch = 16
+
 // scanPass visits every shard once, starting at a rotated offset so no
 // shard holds permanent first-served priority, and drains up to a ring's
 // worth of posted calls per shard.  idx identifies the responder for
 // flight-record claim stamps.  It returns the number of slot
 // inspections and executed calls.
+//
+// Claiming is batched: the responder counts the posted run at the claim
+// cursor and takes the whole run with one tail CAS (bounded by
+// maxClaimBatch), so a vectored submit window costs one synchronized
+// claim instead of one per call — the responder-side half of SubmitV's
+// amortization.  A run of one degenerates to exactly the old
+// slot-at-a-time protocol.
 func (p *CallPool) scanPass(idx, pass int) (polls, execs uint64) {
 	n := len(p.shards)
 	for k := 0; k < n; k++ {
@@ -155,43 +167,67 @@ func (p *CallPool) scanPass(idx, pass int) (polls, execs uint64) {
 		// Bound the per-visit drain by the ring depth: a requester that
 		// posts as fast as we execute must not pin the responder to one
 		// shard forever.
-		for b := 0; b < len(sh.slots); b++ {
+		for drained := 0; drained < len(sh.slots); {
 			t := sh.tail.Load()
-			s := &sh.slots[t&sh.mask]
-			polls++
-			if s.state.Load() != slotPosted {
+			// Count the posted run from the claim cursor.
+			limit := len(sh.slots) - drained
+			if limit > maxClaimBatch {
+				limit = maxClaimBatch
+			}
+			run := 0
+			for run < limit && sh.slots[(t+uint64(run))&sh.mask].state.Load() == slotPosted {
+				run++
+			}
+			if run < limit {
+				polls++ // the inspection that ended the run
+			}
+			if run == 0 {
 				break
 			}
-			if !sh.tail.CompareAndSwap(t, t+1) {
-				continue // another responder claimed it; re-look
+			polls += uint64(run)
+			if !sh.tail.CompareAndSwap(t, t+uint64(run)) {
+				continue // another responder claimed here; re-look
 			}
-			// The CAS makes call t exclusively ours: execute, publish
-			// the result on the responder-written line, then signal
-			// completion with the one state store.  Sampled calls carry
-			// a flight record in s.fr (published by the slotPosted
-			// store); three clock reads bracket the handler so the
-			// record's causal timeline separates claim latency from
-			// handler service time.
-			id, data := s.id, s.data
-			fr := s.fr
-			f := p.flight
-			if fr != nil && f != nil {
-				now := f.Now()
-				fr.Claim(idx, now)
-				fr.ExecStart(now)
+			// The CAS makes calls t..t+run-1 exclusively ours: execute
+			// each, publish its result on the responder-written line,
+			// then signal completion with the one state store.  Sampled
+			// calls carry a flight record in s.fr (published by the
+			// slotPosted store); three clock reads bracket the handler
+			// so the record's causal timeline separates claim latency
+			// from handler service time.
+			for j := 0; j < run; j++ {
+				s := &sh.slots[(t+uint64(j))&sh.mask]
+				id, data := s.id, s.data
+				fr := s.fr
+				f := p.flight
+				if fr != nil && f != nil {
+					now := f.Now()
+					fr.Claim(idx, now)
+					fr.ExecStart(now)
+				}
+				var ret uint64
+				if nseg := s.nseg; nseg > 0 {
+					// Scatter-gather call: dispatch through the vec
+					// table with the slot's own descriptor block (no
+					// copy; the handler must not retain the slice).
+					if p.vtable == nil || int(id) < 0 || int(id) >= len(p.vtable) || p.vtable[id] == nil {
+						ret = ^uint64(0)
+					} else {
+						ret = p.vtable[id](shardIdx, data, s.segs[:nseg])
+					}
+				} else if int(id) < 0 || int(id) >= len(p.table) {
+					ret = ^uint64(0) // corrupted call_ID: sentinel, as in hotcalls.go
+				} else {
+					ret = p.table[id](shardIdx, data)
+				}
+				if fr != nil && f != nil {
+					fr.ExecEnd(f.Now())
+				}
+				s.ret = ret
+				s.state.Store(slotDone)
 			}
-			var ret uint64
-			if int(id) < 0 || int(id) >= len(p.table) {
-				ret = ^uint64(0) // corrupted call_ID: sentinel, as in hotcalls.go
-			} else {
-				ret = p.table[id](shardIdx, data)
-			}
-			if fr != nil && f != nil {
-				fr.ExecEnd(f.Now())
-			}
-			s.ret = ret
-			s.state.Store(slotDone)
-			execs++
+			execs += uint64(run)
+			drained += run
 		}
 	}
 	return polls, execs

@@ -22,6 +22,14 @@ const (
 	In
 	Out
 	InOut
+	// ZeroCopy marks a buffer that lives in a pre-registered shared
+	// payload ring (sdk.Runtime.RegisterSharedRing): the edge glue skips
+	// both the staging allocation and the per-byte copies and only
+	// verifies the pointer lies inside a registered ring region.  Unlike
+	// [user_check] the runtime still range-checks the buffer, so a
+	// ZeroCopy parameter that does not point into a ring is rejected
+	// rather than silently passed through.
+	ZeroCopy
 )
 
 func (d Direction) String() string {
@@ -34,6 +42,8 @@ func (d Direction) String() string {
 		return "out"
 	case InOut:
 		return "in, out"
+	case ZeroCopy:
+		return "zerocopy"
 	}
 	return fmt.Sprintf("Direction(%d)", int(d))
 }
@@ -129,7 +139,7 @@ func validateFunc(fn *Func) error {
 			}
 			continue
 		}
-		if p.IsString && p.Direction == UserCheck {
+		if p.IsString && (p.Direction == UserCheck || p.Direction == ZeroCopy) {
 			return fmt.Errorf("edl: %s: [string] requires a copy direction on %q", fn.Name, p.Name)
 		}
 		for _, ref := range []string{p.SizeParam, p.CountParm} {

@@ -67,6 +67,8 @@ func formatParam(b *strings.Builder, p *Param) {
 			attrs = append(attrs, "out")
 		case InOut:
 			attrs = append(attrs, "in", "out")
+		case ZeroCopy:
+			attrs = append(attrs, "zerocopy")
 		case UserCheck:
 			attrs = append(attrs, "user_check")
 		}

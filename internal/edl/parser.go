@@ -245,7 +245,7 @@ func (p *parser) decl(trusted bool) (*Func, error) {
 
 func (p *parser) param() (*Param, error) {
 	param := &Param{Direction: UserCheck}
-	hasIn, hasOut, hasAttrs := false, false, false
+	hasIn, hasOut, hasZC, hasAttrs := false, false, false, false
 	if p.accept("[") {
 		hasAttrs = true
 		for {
@@ -254,6 +254,8 @@ func (p *parser) param() (*Param, error) {
 				hasIn = true
 			case "out":
 				hasOut = true
+			case "zerocopy":
+				hasZC = true
 			case "user_check":
 			case "string":
 				param.IsString = true
@@ -291,6 +293,10 @@ func (p *parser) param() (*Param, error) {
 		}
 	}
 	switch {
+	case hasZC && (hasIn || hasOut):
+		return nil, p.errf("zerocopy cannot combine with in/out")
+	case hasZC:
+		param.Direction = ZeroCopy
 	case hasIn && hasOut:
 		param.Direction = InOut
 	case hasIn:

@@ -152,11 +152,18 @@ func ceilPow2(v int) int {
 // is atomic because escalation is written from other goroutines
 // (another shard's timeout path, the digest), but on x86 the load is a
 // plain MOV — no LOCK prefix enters the unsampled path.
+// localBytes/publishedBytes mirror the arrival pair for zero-copy
+// payload bytes: AddBytes (called by the fabric's zero-copy post path,
+// same single-producer contract) bumps the plain field, Open publishes
+// it alongside the arrival count.  Plain-call lanes never touch either
+// word, so the legacy hot path is unchanged.
 type lane struct {
-	local     uint64
-	published atomic.Uint64
-	mask      atomic.Uint64
-	_         [cacheLine - 24]byte
+	local          uint64
+	published      atomic.Uint64
+	mask           atomic.Uint64
+	localBytes     uint64
+	publishedBytes atomic.Uint64
+	_              [cacheLine - 40]byte
 }
 
 // binding is the recorder's per-fabric storage: one record ring per
@@ -209,7 +216,9 @@ type Recorder struct {
 	// previously-bound fabrics, folded in by Bind so the cumulative
 	// totals stay monotonic across rebinds (the EWMA fold subtracts
 	// consecutive cumulative readings).  Indexed by callsite ID.
+	// baseBytes is the same baseline for published payload-byte counts.
 	baseArrivals []uint64
+	baseBytes    []uint64
 
 	// Exact per-callsite outcome counters (indexed by callsite ID,
 	// allocated to MaxCallsites at New).  Separate from the sampled
@@ -348,12 +357,17 @@ func (r *Recorder) Bind(shards int) {
 		for len(r.baseArrivals) < old.stride {
 			r.baseArrivals = append(r.baseArrivals, 0)
 		}
+		for len(r.baseBytes) < old.stride {
+			r.baseBytes = append(r.baseBytes, 0)
+		}
 		// The fold reads the published counts; a lane's unpublished
 		// remainder (< SampleEvery calls since the last boundary) is
 		// lost with the binding, like its undigested records.
 		for shard := 0; shard < len(old.rings); shard++ {
 			for site := 0; site < old.stride; site++ {
-				r.baseArrivals[site] += old.lanes[shard*old.stride+site].published.Load()
+				ln := &old.lanes[shard*old.stride+site]
+				r.baseArrivals[site] += ln.published.Load()
+				r.baseBytes[site] += ln.publishedBytes.Load()
 			}
 		}
 	}
@@ -446,7 +460,27 @@ func (r *Recorder) Open(cs Callsite, shard int, callID uint16) *Record {
 	}
 	ln := &b.lanes[shard*b.stride+(int(cs.id)&b.siteMask)]
 	ln.published.Store(ln.local)
+	ln.publishedBytes.Store(ln.localBytes)
 	return r.beginSampled(b, cs, shard, callID)
+}
+
+// AddBytes counts n zero-copy payload bytes on the (shard, callsite)
+// lane.  Same single-producer contract and plain-store publication
+// protocol as Arrive: the count is producer-private until the lane's
+// next sampled call publishes it from Open, so the visible total is
+// exact at sample boundaries and otherwise lags by at most the bytes of
+// SampleEvery-1 calls.  Called by the fabric's zero-copy post path
+// before Arrive, so the publication that samples this call includes it.
+// Nil-safe (the zero-copy path is not the nanosecond-budget path).
+func (r *Recorder) AddBytes(cs Callsite, shard int, n uint64) {
+	if r == nil || n == 0 {
+		return
+	}
+	b := r.bind.Load()
+	if b == nil || uint(shard) >= uint(len(b.rings)) {
+		return
+	}
+	b.lanes[shard*b.stride+(int(cs.id)&b.siteMask)].localBytes += n
 }
 
 // beginSampled opens a timeline record for a 1-in-SampleEvery call:

@@ -33,6 +33,8 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			func(cs CallsiteStats) string { return fmt.Sprintf("%d", cs.Fallbacks) }},
 		{"flight_callsite_sampled_total", "counter",
 			func(cs CallsiteStats) string { return fmt.Sprintf("%d", cs.Sampled) }},
+		{"flight_callsite_bytes_total", "counter",
+			func(cs CallsiteStats) string { return fmt.Sprintf("%d", cs.Bytes) }},
 		{"flight_callsite_outliers_total", "counter",
 			func(cs CallsiteStats) string { return fmt.Sprintf("%d", cs.Outliers) }},
 		{"flight_callsite_arrival_rate_per_s", "gauge",

@@ -38,7 +38,8 @@ type Record struct {
 	execStart atomic.Uint64
 	execEnd   atomic.Uint64
 	ret       atomic.Uint64
-	_         [2*cacheLine - 72]byte
+	bytes     atomic.Uint64
+	_         [2*cacheLine - 80]byte
 }
 
 // TraceID returns the record's trace ID (0 on nil), the value exemplar
@@ -76,6 +77,16 @@ func (rec *Record) Context(depth, live, sleepers int) {
 		uint64(uint16(depth))<<32 |
 		uint64(uint8(live))<<24 |
 		uint64(uint8(sleepers))<<16)
+}
+
+// SetBytes stamps the call's payload byte count (zero-copy segment
+// total; 0 for plain uint64 calls).  Written by the submitting
+// requester before the call is posted, like Context.  Nil-safe.
+func (rec *Record) SetBytes(n uint64) {
+	if rec == nil {
+		return
+	}
+	rec.bytes.Store(n)
 }
 
 // Claim stamps the responder's slot-claim time and identity.  Nil-safe.
@@ -154,6 +165,7 @@ func (r *ring) open() (*Record, uint64) {
 	rec.execStart.Store(0)
 	rec.execEnd.Store(0)
 	rec.ret.Store(0)
+	rec.bytes.Store(0)
 	r.next.Store(gen + 1)
 	return rec, gen
 }
@@ -174,6 +186,7 @@ func (r *ring) openMP() (*Record, uint64) {
 			rec.execStart.Store(0)
 			rec.execEnd.Store(0)
 			rec.ret.Store(0)
+			rec.bytes.Store(0)
 			return rec, gen
 		}
 	}
@@ -202,6 +215,9 @@ type RecordView struct {
 	ExecStartNS uint64 `json:"exec_start_ns,omitempty"`
 	ExecEndNS   uint64 `json:"exec_end_ns,omitempty"`
 	ReturnNS    uint64 `json:"return_ns"`
+
+	// Bytes is the call's zero-copy payload total (0 for plain calls).
+	Bytes uint64 `json:"bytes,omitempty"`
 }
 
 // load copies the record, accepting only a closed generation-gen
@@ -219,6 +235,7 @@ func (rec *Record) load(gen uint64) (RecordView, bool) {
 		ExecStartNS: rec.execStart.Load(),
 		ExecEndNS:   rec.execEnd.Load(),
 		ReturnNS:    rec.ret.Load(),
+		Bytes:       rec.bytes.Load(),
 	}
 	meta := rec.meta.Load()
 	ctx := rec.ctx.Load()

@@ -218,6 +218,32 @@ func (r *Recorder) arrivalsLocked() map[int]uint64 {
 	return out
 }
 
+// bytesLocked is arrivalsLocked for published zero-copy payload-byte
+// counts.  Caller holds r.mu.
+func (r *Recorder) bytesLocked() map[int]uint64 {
+	out := make(map[int]uint64)
+	for site, n := range r.baseBytes {
+		if n > 0 {
+			out[site] = n
+		}
+	}
+	b := r.bind.Load()
+	if b == nil {
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	for shard := 0; shard < len(b.rings); shard++ {
+		for site := 0; site < b.stride; site++ {
+			if n := b.lanes[shard*b.stride+site].publishedBytes.Load(); n > 0 {
+				out[site] += n
+			}
+		}
+	}
+	return out
+}
+
 // CallsiteStats is one callsite's live statistics — the stats-table
 // row /debug/flight exports and the adaptive dispatcher will consume.
 // Timeouts and Fallbacks are exact; Arrivals is counted on every call
@@ -233,6 +259,13 @@ type CallsiteStats struct {
 	Timeouts  uint64 `json:"timeouts"`  // exact
 	Fallbacks uint64 `json:"fallbacks"` // exact
 	Sampled   uint64 `json:"sampled"`
+
+	// Bytes is the callsite's cumulative zero-copy payload byte count,
+	// published like Arrivals (exact at sample boundaries).  Zero for
+	// callsites that only move typed uint64 payloads.  The what-if
+	// router's cost model divides this by Arrivals to separate per-call
+	// from per-byte cycles.
+	Bytes uint64 `json:"bytes,omitempty"`
 
 	// Tail-sampler fields (zero unless ArmTailSampler was called).
 	// Outliers is the exact count of retained outlier captures;
@@ -274,6 +307,7 @@ func (r *Recorder) Stats() []CallsiteStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	arrivals := r.arrivalsLocked()
+	bytes := r.bytesLocked()
 	var out []CallsiteStats
 	for site := 0; site < len(r.names); site++ {
 		n := arrivals[site]
@@ -288,6 +322,7 @@ func (r *Recorder) Stats() []CallsiteStats {
 			Arrivals:  n,
 			Timeouts:  to,
 			Fallbacks: fb,
+			Bytes:     bytes[site],
 		}
 		if r.armed.Load() && site < len(r.outlierSeen) {
 			cs.Outliers = r.outlierSeen[site].n.Load()

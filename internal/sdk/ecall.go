@@ -34,6 +34,9 @@ var ecallGlue = map[edl.Direction]float64{
 	edl.In:    90,
 	edl.Out:   218,
 	edl.InOut: 424,
+	// [zerocopy] pays only ring-membership verification and pointer
+	// fix-up — no staging allocation, no copy scheduling.
+	edl.ZeroCopy: 36,
 }
 
 // ECall invokes a declared trusted function through the full SDK path:

@@ -25,6 +25,9 @@ var ocallGlue = map[edl.Direction]float64{
 	edl.In:    536,
 	edl.Out:   590,
 	edl.InOut: 701,
+	// [zerocopy] pays only ring-membership verification and pointer
+	// fix-up — no staging frame, no copy scheduling.
+	edl.ZeroCopy: 48,
 }
 
 // OCall invokes a declared untrusted function from inside a trusted

@@ -35,6 +35,7 @@ var (
 	ErrOCallOutsideCall = errors.New("sdk: ocall issued with no thread inside the enclave")
 	ErrBufferTooSmall   = errors.New("sdk: declared size exceeds the provided buffer")
 	ErrNoNUL            = errors.New("sdk: [string] buffer has no NUL terminator")
+	ErrNotRingBacked    = errors.New("sdk: [zerocopy] buffer is not inside a registered shared payload ring")
 )
 
 // Buffer is a pointer parameter's backing: a simulated address plus the
@@ -121,7 +122,53 @@ type Runtime struct {
 	// dist records full-resolution per-call latency distributions; nil
 	// (one branch per call) until SetDistribution attaches a set.
 	dist *dist.Set
+
+	// sharedRings are the registered zero-copy payload-ring regions.
+	// A [zerocopy] pointer parameter must lie entirely inside one of
+	// them; the marshalling core then skips staging and copies for it
+	// (see staging.go).
+	sharedRings []ringRegion
+
+	// stagedBytes counts every byte the marshalling core moves through a
+	// staging copy (stageCopy), in either direction.  Direction-aware
+	// staging is measurable through it: an out-only parameter pays only
+	// the copy-back, half the bytes of an in,out one.
+	stagedBytes uint64
 }
+
+// ringRegion is one registered shared-ring address range.
+type ringRegion struct{ base, size uint64 }
+
+// RegisterSharedRing registers [base, base+size) as zero-copy ring
+// memory.  The region must lie entirely outside the enclave — ring
+// payloads are by construction untrusted shared memory — and
+// registration is what distinguishes a deliberate [zerocopy] buffer
+// from an arbitrary unchecked pointer (contrast [user_check]).
+func (rt *Runtime) RegisterSharedRing(base, size uint64) error {
+	if size == 0 {
+		return fmt.Errorf("%w: empty ring region", ErrNotRingBacked)
+	}
+	if !rt.Enclave.OutsideRange(base, size) {
+		return fmt.Errorf("%w: ring region overlaps the enclave", ErrInsecurePointer)
+	}
+	rt.sharedRings = append(rt.sharedRings, ringRegion{base: base, size: size})
+	return nil
+}
+
+// RingBacked reports whether [addr, addr+size) lies entirely inside one
+// registered shared-ring region.
+func (rt *Runtime) RingBacked(addr, size uint64) bool {
+	for _, r := range rt.sharedRings {
+		if addr >= r.base && addr+size <= r.base+r.size {
+			return true
+		}
+	}
+	return false
+}
+
+// StagedBytes returns the cumulative bytes moved by marshalling staging
+// copies since the runtime was created.
+func (rt *Runtime) StagedBytes() uint64 { return rt.stagedBytes }
 
 // runtimeTel is the set of handles the SDK call paths touch.
 type runtimeTel struct {

@@ -23,8 +23,12 @@ func (rt *Runtime) zero(clk *sim.Clock, addr, size uint64) {
 	}
 }
 
-// stage applies the configured memcpy to a staging copy.
+// stage applies the configured memcpy to a staging copy.  Every staged
+// byte is counted in rt.stagedBytes so the marshalling volume of a call
+// shape is directly observable (an out-only parameter pays only the
+// copy-back; [zerocopy] parameters never come through here at all).
 func (rt *Runtime) stageCopy(clk *sim.Clock, dst, src, size uint64) {
+	rt.stagedBytes += size
 	if rt.OptimizedMemops {
 		rt.Platform.Mem.CopyAVX(clk, dst, src, size)
 	} else {
@@ -66,6 +70,20 @@ func (rt *Runtime) StageOCallArgs(clk *sim.Clock, decl *edl.Func, args []Arg) ([
 		if err != nil {
 			rt.stackRestore(frame)
 			return nil, nil, err
+		}
+		if p.Direction == edl.ZeroCopy {
+			// A [zerocopy] buffer lives in untrusted shared-ring
+			// memory by construction, so the usual in-enclave check
+			// inverts: verify the pointer lies inside a registered
+			// ring, then hand it through with no staging and no copy.
+			clk.Advance(bufferCheckCost)
+			if !rt.RingBacked(src.Addr, size) {
+				rt.stackRestore(frame)
+				return nil, nil, fmt.Errorf("%w: %s.%s", ErrNotRingBacked, decl.Name, p.Name)
+			}
+			clk.AdvanceF(ocallGlue[edl.ZeroCopy])
+			outer[i] = args[i]
+			continue
 		}
 		// The enclave-side pointer must lie entirely inside the
 		// enclave, or copying could exfiltrate via a crafted pointer.
@@ -142,6 +160,18 @@ func (rt *Runtime) StageECallArgs(clk *sim.Clock, decl *edl.Func, args []Arg) ([
 		if !rt.Enclave.OutsideRange(caller.Addr, size) {
 			unwind()
 			return nil, nil, fmt.Errorf("%w: %s.%s", ErrInsecurePointer, decl.Name, p.Name)
+		}
+		if p.Direction == edl.ZeroCopy {
+			// Outside the enclave AND inside a registered ring: the
+			// trusted side reads/writes the slab in place instead of
+			// staging it onto the secure heap.
+			if !rt.RingBacked(caller.Addr, size) {
+				unwind()
+				return nil, nil, fmt.Errorf("%w: %s.%s", ErrNotRingBacked, decl.Name, p.Name)
+			}
+			clk.AdvanceF(ecallGlue[edl.ZeroCopy])
+			inner[i] = args[i]
+			continue
 		}
 		clk.AdvanceF(ecallGlue[p.Direction])
 		addr, err := rt.Enclave.Alloc(clk, size)

@@ -1,0 +1,171 @@
+package sdk
+
+import (
+	"errors"
+	"testing"
+
+	"hotcalls/internal/edl"
+	"hotcalls/internal/sim"
+)
+
+// TestStagedBytesDirectionAware proves the marshalling core is
+// direction-aware: an out-only parameter pays only the copy-back (N
+// staged bytes), half of what an in,out parameter pays (copy-in plus
+// copy-back, 2N).  The [out] zeroing goes through memset, not
+// stageCopy, so it does not count as moved bytes.
+func TestStagedBytesDirectionAware(t *testing.T) {
+	const n = 4096
+
+	run := func(call string) uint64 {
+		f := newFixture(t)
+		var clk sim.Clock
+		buf := f.rt.Arena.AllocBuffer(&clk, n)
+		before := f.rt.StagedBytes()
+		if _, err := f.rt.ECall(&clk, call, Buf(buf), Scalar(n)); err != nil {
+			t.Fatal(err)
+		}
+		return f.rt.StagedBytes() - before
+	}
+
+	out := run("ecall_out")
+	inout := run("ecall_inout")
+	if out != n {
+		t.Fatalf("out-only staged %d bytes, want %d (copy-back only)", out, n)
+	}
+	if inout != 2*n {
+		t.Fatalf("in,out staged %d bytes, want %d", inout, 2*n)
+	}
+	if 2*out != inout {
+		t.Fatalf("out-only bytes (%d) should be half of in,out (%d)", out, inout)
+	}
+}
+
+const zcEDL = `
+enclave {
+    trusted {
+        public int ecall_zc([zerocopy, size=len] uint8_t* buf, size_t len);
+        public int ecall_drive([zerocopy, size=len] uint8_t* buf, size_t len);
+    };
+    untrusted {
+        int ocall_zc([zerocopy, size=len] uint8_t* buf, size_t len);
+    };
+};
+`
+
+func newZCFixture(t testing.TB) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	f.rt.EDL = edl.MustParse(zcEDL)
+	f.rt.MustBindECall("ecall_zc", func(ctx *Ctx, args []Arg) uint64 {
+		// In-place mutation of the shared slab; no copy-back exists to
+		// make this visible, so visibility proves pass-through.
+		for i := range args[0].Buf.Data {
+			args[0].Buf.Data[i] ^= 0xff
+		}
+		return args[0].Buf.Addr
+	})
+	f.rt.MustBindECall("ecall_drive", func(ctx *Ctx, args []Arg) uint64 {
+		r, err := ctx.OCall("ocall_zc", args[0], args[1])
+		if err != nil {
+			panic(err)
+		}
+		return r
+	})
+	f.rt.MustBindOCall("ocall_zc", func(ctx *Ctx, args []Arg) uint64 {
+		for i := range args[0].Buf.Data {
+			args[0].Buf.Data[i]++
+		}
+		return args[0].Buf.Addr
+	})
+	return f
+}
+
+// TestZeroCopyECallPassThrough checks that a ring-backed [zerocopy]
+// ecall parameter is handed through unstaged: the trusted handler sees
+// the caller's address, in-place writes are visible without any
+// copy-back, and zero bytes go through staging copies.
+func TestZeroCopyECallPassThrough(t *testing.T) {
+	f := newZCFixture(t)
+	var clk sim.Clock
+	buf := f.rt.Arena.AllocBuffer(&clk, 256)
+	if err := f.rt.RegisterSharedRing(buf.Addr, 256); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf.Data {
+		buf.Data[i] = byte(i)
+	}
+	before := f.rt.StagedBytes()
+	ret, err := f.rt.ECall(&clk, "ecall_zc", Buf(buf), Scalar(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != buf.Addr {
+		t.Fatalf("handler saw addr %#x, want caller's %#x", ret, buf.Addr)
+	}
+	for i, b := range buf.Data {
+		if b != byte(i)^0xff {
+			t.Fatalf("buf[%d] = %#x, want %#x (in-place write lost)", i, b, byte(i)^0xff)
+		}
+	}
+	if moved := f.rt.StagedBytes() - before; moved != 0 {
+		t.Fatalf("zerocopy call staged %d bytes, want 0", moved)
+	}
+}
+
+// TestZeroCopyRequiresRing checks the safety inversion: a [zerocopy]
+// pointer outside every registered ring is rejected even when it would
+// pass the plain outside-the-enclave check, and an in-enclave pointer
+// is rejected outright.
+func TestZeroCopyRequiresRing(t *testing.T) {
+	f := newZCFixture(t)
+	var clk sim.Clock
+	plain := f.rt.Arena.AllocBuffer(&clk, 128)
+	if _, err := f.rt.ECall(&clk, "ecall_zc", Buf(plain), Scalar(128)); !errors.Is(err, ErrNotRingBacked) {
+		t.Fatalf("unregistered buffer: err = %v, want ErrNotRingBacked", err)
+	}
+	inEnclave := f.enclaveBuf(t, 128)
+	if _, err := f.rt.ECall(&clk, "ecall_zc", Buf(inEnclave), Scalar(128)); !errors.Is(err, ErrInsecurePointer) {
+		t.Fatalf("in-enclave buffer: err = %v, want ErrInsecurePointer", err)
+	}
+}
+
+// TestZeroCopyOCallPassThrough checks the ocall side: a ring-backed
+// slab crosses outward with no staging frame copy, and the untrusted
+// handler's in-place increment is visible to the trusted caller.
+func TestZeroCopyOCallPassThrough(t *testing.T) {
+	f := newZCFixture(t)
+	var clk sim.Clock
+	buf := f.rt.Arena.AllocBuffer(&clk, 64)
+	if err := f.rt.RegisterSharedRing(buf.Addr, 64); err != nil {
+		t.Fatal(err)
+	}
+	before := f.rt.StagedBytes()
+	ret, err := f.rt.ECall(&clk, "ecall_drive", Buf(buf), Scalar(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != buf.Addr {
+		t.Fatalf("ocall handler saw addr %#x, want %#x", ret, buf.Addr)
+	}
+	for i, b := range buf.Data {
+		if b != 1 {
+			t.Fatalf("buf[%d] = %d, want 1 (in-place increment lost)", i, b)
+		}
+	}
+	if moved := f.rt.StagedBytes() - before; moved != 0 {
+		t.Fatalf("zerocopy ocall staged %d bytes, want 0", moved)
+	}
+}
+
+// TestRegisterSharedRingRejectsEnclaveOverlap checks that ring
+// registration refuses regions touching enclave memory: ring payloads
+// are untrusted shared memory by definition.
+func TestRegisterSharedRingRejectsEnclaveOverlap(t *testing.T) {
+	f := newZCFixture(t)
+	if err := f.rt.RegisterSharedRing(f.e.Base(), 4096); !errors.Is(err, ErrInsecurePointer) {
+		t.Fatalf("err = %v, want ErrInsecurePointer", err)
+	}
+	if err := f.rt.RegisterSharedRing(0x1000, 0); !errors.Is(err, ErrNotRingBacked) {
+		t.Fatalf("empty region: err = %v, want ErrNotRingBacked", err)
+	}
+}

@@ -69,6 +69,17 @@ type CostParams struct {
 	PoolBackground float64 // fraction of pooled-responder time taken by other callsites
 	MaxRho         float64 // utilization clamp for the queue-wait terms
 	MinCalls       uint64  // ignore callsite-intervals with fewer arrivals
+
+	// Per-byte terms, separating payload cost from per-call cost.  The
+	// sync and hot policies marshal through the SDK's staging copies
+	// (copy-in, copy-out, and the MEE walk per touched line), so they
+	// pay StagedPerByteNS per payload byte; the pooled policy rides the
+	// zero-copy payload rings, whose bytes are written exactly once by
+	// their producer, so it pays only PooledPerByteNS (descriptor
+	// handling and cache effects).  Callsites that move no payload
+	// (flight Bytes 0) are unaffected.
+	StagedPerByteNS float64
+	PooledPerByteNS float64
 }
 
 // DefaultCostParams returns the calibrated defaults.
@@ -82,6 +93,9 @@ func DefaultCostParams() CostParams {
 		PoolBackground: 0.30,
 		MaxRho:         0.95,
 		MinCalls:       1,
+
+		StagedPerByteNS: 0.08,  // in+out staging copies + MEE walk, ~0.32 cyc/B
+		PooledPerByteNS: 0.004, // ring descriptor + cache effects, ~1/20th
 	}
 }
 
@@ -99,6 +113,7 @@ type IntervalStats struct {
 	Arrivals        float64
 	ServiceNS       float64
 	IntervalNS      float64
+	BytesPerCall    float64 // mean payload bytes per call (0 for plain calls)
 	WastedSpinNS    float64 // attributed empty-poll core time this interval
 	WasteObserved   bool    // WastedSpinNS came from live attribution
 	CurrentlyPooled bool    // informational; scoring is policy-agnostic
@@ -130,11 +145,18 @@ type IntervalStats struct {
 // crossings) and near-saturation (queueing beats parallelism never);
 // pooled wins the mid range; hot wins high-rate moderate-utilization
 // sites where pool interference costs more than a private core's idle.
+// Payload bytes add a fourth, policy-dependent term: A·B·StagedPerByteNS
+// on the staged-copy policies (sync and hot), A·B·PooledPerByteNS on the
+// pooled policy's zero-copy ring — which is what lets the shadow router
+// tell a chatty-small callsite (per-call cost dominates; routing barely
+// matters) from a bulk-transfer one (per-byte cost dominates; the ring
+// is the whole game).
 func (p CostParams) Score(st IntervalStats) [NumPolicies]float64 {
 	a, s, t := st.Arrivals, st.ServiceNS, st.IntervalNS
 	busy := a * s
+	stagedBytes := a * st.BytesPerCall * p.StagedPerByteNS
 	var c [NumPolicies]float64
-	c[PolicySync] = a * (p.SyncCallNS + s)
+	c[PolicySync] = a*(p.SyncCallNS+s) + stagedBytes
 
 	hotIdle := t - busy
 	if hotIdle < 0 {
@@ -150,14 +172,15 @@ func (p CostParams) Score(st IntervalStats) [NumPolicies]float64 {
 		}
 		return rho / (1 - rho) * s
 	}
-	c[PolicyHot] = a*(p.HotSyncNS+wait(rho, s)+s) + hotIdle
+	c[PolicyHot] = a*(p.HotSyncNS+wait(rho, s)+s) + hotIdle + stagedBytes
 
 	sEff := s / (1 - p.PoolBackground)
 	idle := st.WastedSpinNS
 	if !st.WasteObserved {
 		idle = p.PooledShare * hotIdle
 	}
-	c[PolicyPooled] = a*(p.PooledSyncNS+wait(rho/(1-p.PoolBackground), sEff)+sEff) + idle
+	c[PolicyPooled] = a*(p.PooledSyncNS+wait(rho/(1-p.PoolBackground), sEff)+sEff) + idle +
+		a*st.BytesPerCall*p.PooledPerByteNS
 	return c
 }
 
@@ -183,6 +206,10 @@ type Decision struct {
 	Arrivals  uint64  `json:"arrivals"`
 	RatePerS  float64 `json:"rate_per_s"`
 	ServiceNS float64 `json:"service_ns"`
+
+	// BytesPerCall is the interval's mean payload bytes per call, the
+	// input of the per-byte cost terms (omitted for plain callsites).
+	BytesPerCall float64 `json:"bytes_per_call,omitempty"`
 
 	Current Policy                `json:"current"`
 	Best    Policy                `json:"best"`
@@ -310,6 +337,7 @@ func (r *Router) Observe(stats []flight.CallsiteStats, intervalNS uint64) Router
 			Arrivals:      float64(dArr),
 			ServiceNS:     service,
 			IntervalNS:    float64(intervalNS),
+			BytesPerCall:  float64(cs.Bytes-p.Bytes) / float64(dArr),
 			WastedSpinNS:  dWaste * r.params.PollNS,
 			WasteObserved: dWaste > 0,
 		}
@@ -325,6 +353,7 @@ func (r *Router) Observe(stats []flight.CallsiteStats, intervalNS uint64) Router
 			Arrivals:     dArr,
 			RatePerS:     st.Arrivals / (st.IntervalNS / 1e9),
 			ServiceNS:    service,
+			BytesPerCall: st.BytesPerCall,
 			Current:      current,
 			Best:         best,
 			CostsNS:      costs,
